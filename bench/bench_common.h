@@ -1,0 +1,68 @@
+#ifndef EMBSR_BENCH_BENCH_COMMON_H_
+#define EMBSR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "datagen/generator.h"
+#include "train/experiment.h"
+#include "util/check.h"
+#include "util/env.h"
+
+namespace embsr {
+namespace bench {
+
+/// Session-count multiplier for bench datasets. The repo default (scale 1)
+/// generates ~2000 usable sessions per dataset — enough for the tables'
+/// *shape* on one CPU core; raise EMBSR_BENCH_SCALE toward the paper's
+/// half-million-session scale if you have the hardware.
+inline double DatasetScale() { return 0.5 * BenchScale(); }
+
+/// Builds one of the three paper datasets at bench scale.
+/// `which` is "appliances", "computers" or "trivago".
+inline ProcessedDataset LoadDataset(const std::string& which) {
+  GeneratorConfig cfg;
+  if (which == "appliances") {
+    cfg = JdAppliancesConfig(DatasetScale());
+  } else if (which == "computers") {
+    cfg = JdComputersConfig(DatasetScale());
+  } else if (which == "trivago") {
+    cfg = TrivagoConfig(DatasetScale());
+  } else {
+    EMBSR_CHECK_MSG(false, "unknown dataset '%s'", which.c_str());
+  }
+  auto result = MakeDataset(cfg);
+  EMBSR_CHECK_OK(result);
+  return std::move(result).value();
+}
+
+/// Single-operation-restricted variant (supplement protocol).
+inline ProcessedDataset LoadDatasetSingleOp(const std::string& which) {
+  GeneratorConfig cfg = which == "trivago" ? TrivagoConfig(DatasetScale())
+                        : which == "computers"
+                            ? JdComputersConfig(DatasetScale())
+                            : JdAppliancesConfig(DatasetScale());
+  const int64_t op = cfg.num_operations >= 10
+                         ? static_cast<int64_t>(kJdClick)
+                         : static_cast<int64_t>(kTrvClickout);
+  auto result = MakeDatasetSingleOp(cfg, op);
+  EMBSR_CHECK_OK(result);
+  return std::move(result).value();
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        const char* note) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Reproduces: %s\n", paper_ref);
+  if (note != nullptr && note[0] != '\0') std::printf("Note: %s\n", note);
+  std::printf("Workload scale: EMBSR_BENCH_SCALE=%.2f "
+              "(sessions x%.2f of repo default)\n",
+              BenchScale(), BenchScale());
+  std::printf("=====================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace embsr
+
+#endif  // EMBSR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,35 @@
+// Extension ablation (the paper's future-work proposal, Sec. VI): learned
+// per-operation importance gates (EMBSR-W) vs the plain model, plus the
+// extra classic baselines (GRU4Rec, FPMC, STAN) as sanity anchors — a
+// first-order Markov model should sit near the bottom of the table.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "train/model_zoo.h"
+
+int main() {
+  using namespace embsr;         // NOLINT — bench binary
+  using namespace embsr::bench;  // NOLINT
+  PrintHeader(
+      "Extension: operation-importance weighting + extra baselines",
+      "ICDE'22 EMBSR paper, Sec. VI future work (not a paper table)",
+      "EMBSR-W learns sigmoid gates over operations; expect it to match or "
+      "edge out EMBSR where noise operations (hover/filter) dilute the "
+      "signal. FPMC/GRU4Rec anchor the bottom of the table.");
+
+  const std::vector<int> ks = {10, 20};
+  const TrainConfig cfg = BenchTrainConfig();
+  const std::vector<std::string> models = {"FPMC",  "GRU4Rec", "STAN",
+                                           "EMBSR", "EMBSR-W"};
+
+  for (const char* which : {"appliances", "computers"}) {
+    const ProcessedDataset data = LoadDataset(which);
+    std::vector<ExperimentResult> results;
+    for (const std::string& name : models) {
+      results.push_back(RunExperiment(name, data, cfg, ks));
+    }
+    std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Regenerates Fig. 6: utility of the fusion gating mechanism. Sweeps a
+// fixed fusion weight beta over {0, 0.2, 0.4, 0.6, 0.8, 1} and compares
+// against the learned gate (full EMBSR) on the JD datasets at K = 10, 20.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/embsr_model.h"
+#include "train/evaluator.h"
+
+int main() {
+  using namespace embsr;         // NOLINT — bench binary
+  using namespace embsr::bench;  // NOLINT
+  PrintHeader(
+      "Fig. 6: utility of the fusion gating mechanism (beta sweep)",
+      "ICDE'22 EMBSR paper, Fig. 6 (line charts on Appliances/Computers)",
+      "expected shape: beta=0 (recent interest only) worst; larger beta "
+      "competitive; the learned gate best or tied-best");
+
+  const std::vector<int> ks = {10, 20};
+  const TrainConfig cfg = BenchTrainConfig();
+  const std::vector<float> betas = {0.0f, 0.2f, 0.4f, 0.6f, 0.8f, 1.0f};
+
+  for (const char* which : {"appliances", "computers"}) {
+    const ProcessedDataset data = LoadDataset(which);
+    std::printf("Dataset: %s\n", data.name.c_str());
+    std::printf("%8s  %8s  %8s  %8s  %8s\n", "beta", "H@10", "H@20", "M@10",
+                "M@20");
+    auto run_one = [&](const std::string& label, const EmbsrConfig& vc) {
+      EmbsrModel model(label, data.num_items, data.num_operations, cfg, vc);
+      EMBSR_CHECK_OK(model.Fit(data));
+      EvalResult r = Evaluate(&model, data.test, ks);
+      std::printf("%8s  %8.2f  %8.2f  %8.2f  %8.2f\n", label.c_str(),
+                  r.report.hit.at(10), r.report.hit.at(20),
+                  r.report.mrr.at(10), r.report.mrr.at(20));
+    };
+    for (float beta : betas) {
+      char label[16];
+      std::snprintf(label, sizeof(label), "%.1f", beta);
+      run_one(label, EmbsrVariants::FixedBeta(beta));
+    }
+    run_one("gate", EmbsrVariants::Full());
+    std::printf("\n");
+  }
+  return 0;
+}

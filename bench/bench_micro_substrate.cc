@@ -1,0 +1,142 @@
+// Engineering micro-benchmarks of the substrate the models run on:
+// tensor kernels, autograd round-trips, GRU steps, session-graph
+// construction and a full EMBSR forward/backward. These are google-benchmark
+// timings, not paper reproductions; they bound the training throughput of
+// every experiment harness in this repo.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "core/embsr_model.h"
+#include "graph/session_graph.h"
+#include "nn/layers.h"
+
+namespace embsr {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RowSoftmax(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({64, state.range(0)}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RowSoftmax(a));
+  }
+}
+BENCHMARK(BM_RowSoftmax)->Arg(128)->Arg(1024);
+
+void BM_AutogradRoundTrip(benchmark::State& state) {
+  // Forward + backward through a small MLP-like graph.
+  const int64_t d = state.range(0);
+  Rng rng(3);
+  ag::Variable w1(Tensor::Randn({d, d}, 0.1f, &rng), true);
+  ag::Variable w2(Tensor::Randn({d, d}, 0.1f, &rng), true);
+  Tensor x = Tensor::Randn({8, d}, 1.0f, &rng);
+  for (auto _ : state) {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    ag::Variable h = ag::Tanh(ag::MatMul(ag::Constant(x), w1));
+    ag::Variable loss = ag::SumAll(ag::MatMul(h, w2));
+    loss.Backward();
+    benchmark::DoNotOptimize(w1.GradOrZeros());
+  }
+}
+BENCHMARK(BM_AutogradRoundTrip)->Arg(32)->Arg(64);
+
+void BM_GruStep(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Rng rng(4);
+  nn::GRUCell cell(d, d, &rng);
+  ag::Variable x(Tensor::Randn({1, d}, 1.0f, &rng), false);
+  ag::Variable h(Tensor::Zeros({1, d}), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Forward(x, h));
+  }
+}
+BENCHMARK(BM_GruStep)->Arg(32)->Arg(100);
+
+void BM_SessionMultigraphBuild(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<int64_t> seq;
+  for (int i = 0; i < state.range(0); ++i) {
+    seq.push_back(rng.UniformInt(state.range(0) / 2 + 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SessionMultigraph::Build(seq));
+  }
+}
+BENCHMARK(BM_SessionMultigraphBuild)->Arg(10)->Arg(50);
+
+void BM_SrgnnAdjacencyBuild(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<int64_t> seq;
+  for (int i = 0; i < state.range(0); ++i) {
+    seq.push_back(rng.UniformInt(state.range(0) / 2 + 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildSrgnnAdjacency(seq));
+  }
+}
+BENCHMARK(BM_SrgnnAdjacencyBuild)->Arg(10)->Arg(50);
+
+Example BenchExample() {
+  Example ex;
+  ex.macro_items = {1, 7, 3, 7, 3, 9, 12, 5};
+  ex.macro_ops = {{0},       {0, 1},    {0},    {0, 4}, {0, 1, 2},
+                  {0, 1, 4, 5}, {0}, {0, 1}};
+  for (size_t i = 0; i < ex.macro_items.size(); ++i) {
+    for (int64_t op : ex.macro_ops[i]) {
+      ex.flat_items.push_back(ex.macro_items[i]);
+      ex.flat_ops.push_back(op);
+    }
+  }
+  ex.target = 6;
+  return ex;
+}
+
+void BM_EmbsrInference(benchmark::State& state) {
+  TrainConfig cfg;
+  cfg.embedding_dim = state.range(0);
+  EmbsrModel model("EMBSR", /*num_items=*/500, /*num_operations=*/10, cfg);
+  model.SetTraining(false);
+  const Example ex = BenchExample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ScoreAll(ex));
+  }
+}
+BENCHMARK(BM_EmbsrInference)->Arg(32)->Arg(100);
+
+void BM_EmbsrTrainEpoch(benchmark::State& state) {
+  // Full forward+backward+Adam over a 16-session epoch through the public
+  // Fit path; reported time / 16 approximates the per-session train step.
+  TrainConfig cfg;
+  cfg.embedding_dim = state.range(0);
+  cfg.epochs = 1;
+  cfg.batch_size = 16;
+  cfg.validate_every = 0;
+  ProcessedDataset data;
+  data.num_items = 500;
+  data.num_operations = 10;
+  for (int i = 0; i < 16; ++i) data.train.push_back(BenchExample());
+  for (auto _ : state) {
+    EmbsrModel model("EMBSR", data.num_items, data.num_operations, cfg);
+    benchmark::DoNotOptimize(model.Fit(data));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_EmbsrTrainEpoch)->Arg(32);
+
+}  // namespace
+}  // namespace embsr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Regenerates Table III: overall H@K / M@K (K = 5, 10, 20) of all twelve
+// systems on the three datasets, plus the improvement of EMBSR over the
+// best baseline and the Wilcoxon signed-rank significance test the paper
+// reports.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/metrics.h"
+#include "train/model_zoo.h"
+
+int main() {
+  using namespace embsr;         // NOLINT — bench binary
+  using namespace embsr::bench;  // NOLINT
+  PrintHeader("Table III: performances (%) of all the SR methods",
+              "ICDE'22 EMBSR paper, Table III",
+              "expect the *shape*: neural > S-POP/SKNN on JD, GNN family > "
+              "RNN family, micro-behavior models competitive, EMBSR best; "
+              "S-POP collapses on Trivago");
+
+  const std::vector<int> ks = {5, 10, 20};
+  const TrainConfig cfg = BenchTrainConfig();
+
+  for (const char* which : {"appliances", "computers", "trivago"}) {
+    const ProcessedDataset data = LoadDataset(which);
+    std::vector<ExperimentResult> results;
+    for (const std::string& name : Table3ModelNames()) {
+      results.push_back(RunExperiment(name, data, cfg, ks));
+    }
+    std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
+
+    // Improvement of EMBSR over the best baseline per metric, as in the
+    // paper's "Imp." column.
+    const ExperimentResult& embsr_res = results.back();
+    for (int k : ks) {
+      double best_base_h = 0.0, best_base_m = 0.0;
+      std::string best_h_name, best_m_name;
+      for (size_t i = 0; i + 1 < results.size(); ++i) {
+        if (results[i].eval.report.hit.at(k) > best_base_h) {
+          best_base_h = results[i].eval.report.hit.at(k);
+          best_h_name = results[i].model;
+        }
+        if (results[i].eval.report.mrr.at(k) > best_base_m) {
+          best_base_m = results[i].eval.report.mrr.at(k);
+          best_m_name = results[i].model;
+        }
+      }
+      const double h = embsr_res.eval.report.hit.at(k);
+      const double m = embsr_res.eval.report.mrr.at(k);
+      std::printf("  H@%-2d EMBSR=%6.2f best-baseline=%6.2f (%s)  Imp=%+.2f%%\n",
+                  k, h, best_base_h, best_h_name.c_str(),
+                  best_base_h > 0 ? 100.0 * (h - best_base_h) / best_base_h
+                                  : 0.0);
+      std::printf("  M@%-2d EMBSR=%6.2f best-baseline=%6.2f (%s)  Imp=%+.2f%%\n",
+                  k, m, best_base_m, best_m_name.c_str(),
+                  best_base_m > 0 ? 100.0 * (m - best_base_m) / best_base_m
+                                  : 0.0);
+    }
+
+    // Wilcoxon signed-rank test of EMBSR vs the strongest baseline by M@20.
+    size_t best_idx = 0;
+    for (size_t i = 1; i + 1 < results.size(); ++i) {
+      if (results[i].eval.report.mrr.at(20) >
+          results[best_idx].eval.report.mrr.at(20)) {
+        best_idx = i;
+      }
+    }
+    const double p = WilcoxonSignedRankP(
+        embsr_res.eval.ReciprocalRanksAt(20),
+        results[best_idx].eval.ReciprocalRanksAt(20));
+    std::printf("  Wilcoxon signed-rank (EMBSR vs %s, RR@20): p = %.3g\n\n",
+                results[best_idx].model.c_str(), p);
+  }
+  return 0;
+}

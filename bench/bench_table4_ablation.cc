@@ -1,0 +1,32 @@
+// Regenerates Table IV: ablation studies — EMBSR against EMBSR-NS (no
+// operation-aware self-attention), EMBSR-NG (no GNN), EMBSR-NF (no fusion
+// gate), at K = 10, 20.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "train/model_zoo.h"
+
+int main() {
+  using namespace embsr;         // NOLINT — bench binary
+  using namespace embsr::bench;  // NOLINT
+  PrintHeader("Table IV: performances (%) of ablation studies",
+              "ICDE'22 EMBSR paper, Table IV",
+              "expected shape: full EMBSR best overall; single-pattern "
+              "variants (NS/NG) weakest on the JD datasets");
+
+  const std::vector<int> ks = {10, 20};
+  const TrainConfig cfg = BenchTrainConfig();
+  const std::vector<std::string> variants = {"EMBSR-NS", "EMBSR-NG",
+                                             "EMBSR-NF", "EMBSR"};
+
+  for (const char* which : {"appliances", "computers", "trivago"}) {
+    const ProcessedDataset data = LoadDataset(which);
+    std::vector<ExperimentResult> results;
+    for (const std::string& name : variants) {
+      results.push_back(RunExperiment(name, data, cfg, ks));
+    }
+    std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Domain example: what the micro-behavior signal looks like, and why a
+// macro-only model cannot use it (the paper's Fig. 1 motivation).
+//
+// The program (1) generates a JD-style log, (2) prints operation usage and
+// the most frequent dyadic operation pairs, (3) builds two sessions that are
+// identical at the item level but differ in operations, and shows that
+// EMBSR ranks different items for them while a macro-only variant (SGNN-Self)
+// cannot tell them apart.
+//
+// Run: ./build/examples/micro_behavior_analysis
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/embsr_model.h"
+#include "datagen/generator.h"
+#include "metrics/metrics.h"
+#include "util/check.h"
+
+namespace {
+
+const char* OpName(int64_t op) {
+  static const char* kNames[] = {"click",    "detail", "comments", "compare",
+                                 "cart",     "order",  "favorite", "share",
+                                 "filter",   "hover"};
+  return op >= 0 && op < 10 ? kNames[op] : "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace embsr;  // NOLINT — example code
+
+  // 1. Generate and inspect the raw micro-behavior log.
+  GeneratorConfig gen = JdAppliancesConfig(0.2);
+  auto sessions = GenerateSessions(gen);
+  std::map<int64_t, int64_t> op_counts;
+  std::map<std::pair<int64_t, int64_t>, int64_t> pair_counts;
+  for (const auto& s : sessions) {
+    for (size_t i = 0; i < s.events.size(); ++i) {
+      ++op_counts[s.events[i].operation];
+      if (i > 0 && s.events[i - 1].item == s.events[i].item) {
+        ++pair_counts[{s.events[i - 1].operation, s.events[i].operation}];
+      }
+    }
+  }
+  std::printf("Operation usage over %zu sessions:\n", sessions.size());
+  for (const auto& [op, count] : op_counts) {
+    std::printf("  %-9s %6lld\n", OpName(op), static_cast<long long>(count));
+  }
+  std::vector<std::pair<int64_t, std::pair<int64_t, int64_t>>> ranked;
+  for (const auto& [pair, count] : pair_counts) ranked.push_back({count, pair});
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("\nMost frequent within-item operation bigrams (the dyadic "
+              "patterns EMBSR encodes):\n");
+  for (size_t i = 0; i < std::min<size_t>(6, ranked.size()); ++i) {
+    std::printf("  <%s, %s>  %lld\n", OpName(ranked[i].second.first),
+                OpName(ranked[i].second.second),
+                static_cast<long long>(ranked[i].first));
+  }
+
+  // 2. Train EMBSR and the macro-only variant on the processed dataset.
+  auto dataset = MakeDataset(gen);
+  EMBSR_CHECK_OK(dataset);
+  const ProcessedDataset& data = dataset.value();
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.embedding_dim = 32;
+  EmbsrModel micro("EMBSR", data.num_items, data.num_operations, cfg);
+  EmbsrModel macro("SGNN-Self", data.num_items, data.num_operations, cfg,
+                   EmbsrVariants::SgnnSelf());
+  EMBSR_CHECK_OK(micro.Fit(data));
+  EMBSR_CHECK_OK(macro.Fit(data));
+
+  // 3. Two users, same items, different micro-behaviors (Fig. 1).
+  Example researcher;
+  researcher.macro_items = {10, 11, 12};
+  researcher.macro_ops = {{0, 1}, {0, 1, 2, 4}, {0}};  // comments+cart on 11
+  Example quick_buyer;
+  quick_buyer.macro_items = {10, 11, 12};
+  quick_buyer.macro_ops = {{0, 1}, {0}, {0, 5}};  // straight order on 12
+  for (Example* ex : {&researcher, &quick_buyer}) {
+    for (size_t i = 0; i < ex->macro_items.size(); ++i) {
+      for (int64_t op : ex->macro_ops[i]) {
+        ex->flat_items.push_back(ex->macro_items[i]);
+        ex->flat_ops.push_back(op);
+      }
+    }
+    ex->target = 0;  // unused here
+  }
+
+  auto top1 = [](const std::vector<float>& scores) {
+    return std::max_element(scores.begin(), scores.end()) - scores.begin();
+  };
+  std::printf("\nSame item sequence {10, 11, 12}, different operations:\n");
+  std::printf("  macro-only model:  researcher -> item %ld, quick buyer -> "
+              "item %ld (identical inputs, identical prediction: %s)\n",
+              top1(macro.ScoreAll(researcher)),
+              top1(macro.ScoreAll(quick_buyer)),
+              macro.ScoreAll(researcher) == macro.ScoreAll(quick_buyer)
+                  ? "yes"
+                  : "no");
+  std::printf("  EMBSR:             researcher -> item %ld, quick buyer -> "
+              "item %ld (distinguishes the intents: %s)\n",
+              top1(micro.ScoreAll(researcher)),
+              top1(micro.ScoreAll(quick_buyer)),
+              micro.ScoreAll(researcher) != micro.ScoreAll(quick_buyer)
+                  ? "yes"
+                  : "no");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace embsr {
+namespace ag {
+
+void Node::AccumulateGrad(const Tensor& g) {
+  EMBSR_CHECK(g.shape() == value.shape());
+  if (!grad_ready) {
+    grad = g;
+    grad_ready = true;
+  } else {
+    grad.AddInPlace(g);
+  }
+}
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  EMBSR_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  EMBSR_CHECK(defined());
+  return node_->value;
+}
+
+Tensor Variable::GradOrZeros() const {
+  EMBSR_CHECK(defined());
+  if (!node_->grad_ready) return Tensor::Zeros(node_->value.shape());
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  EMBSR_CHECK(defined());
+  return node_->requires_grad;
+}
+
+bool Variable::has_grad() const {
+  EMBSR_CHECK(defined());
+  return node_->grad_ready;
+}
+
+void Variable::ZeroGrad() {
+  EMBSR_CHECK(defined());
+  node_->grad_ready = false;
+}
+
+void Variable::Backward() const {
+  EMBSR_CHECK(defined());
+  EMBSR_CHECK_MSG(node_->value.size() == 1,
+                  "Backward() requires a scalar root, got %s",
+                  node_->value.ShapeString().c_str());
+
+  // Iterative post-order DFS to get a reverse topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [cur, next_child] = stack.back();
+    if (next_child < cur->parents.size()) {
+      Node* child = cur->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(cur);
+      stack.pop_back();
+    }
+  }
+
+  node_->AccumulateGrad(Tensor::Full(node_->value.shape(), 1.0f));
+
+  // `order` is post-order (children first); iterate from the back so each
+  // node's grad is complete before it propagates to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->grad_ready) n->backward_fn(n);
+  }
+}
+
+Variable Variable::FromNode(std::shared_ptr<Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Variable Constant(Tensor value) { return Variable(std::move(value), false); }
+
+}  // namespace ag
+}  // namespace embsr

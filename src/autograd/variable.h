@@ -1,0 +1,81 @@
+#ifndef EMBSR_AUTOGRAD_VARIABLE_H_
+#define EMBSR_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace embsr {
+namespace ag {
+
+/// Internal graph node for reverse-mode autodiff. Do not use directly;
+/// interact through Variable and the ops in ops.h.
+struct Node {
+  Tensor value;
+  /// Gradient of the (scalar) loss w.r.t. `value`. Allocated lazily on the
+  /// first accumulation; `grad_ready` says whether it holds real data.
+  Tensor grad;
+  bool grad_ready = false;
+  bool requires_grad = false;
+  /// Parents in the computation graph (inputs of the op that produced this).
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this node's grad into its parents' grads. Null for leaves.
+  std::function<void(Node*)> backward_fn;
+
+  /// Adds `g` into this node's grad buffer (allocating it if needed).
+  void AccumulateGrad(const Tensor& g);
+};
+
+/// A value in a define-by-run computation graph.
+///
+/// Variable is a cheap shared handle: copying it aliases the same node. A
+/// fresh graph is built on every forward pass; Backward() walks it once in
+/// reverse topological order. Gradients *accumulate* across Backward calls
+/// until ZeroGrad, which is what lets the trainer do batch-size-1 forward
+/// passes with gradient accumulation over a mini-batch.
+class Variable {
+ public:
+  /// An empty handle; most operations on it are invalid.
+  Variable() = default;
+
+  /// Wraps a tensor as a leaf. Parameters pass requires_grad=true.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  /// The accumulated gradient; zeros if none has been accumulated yet.
+  Tensor GradOrZeros() const;
+  bool requires_grad() const;
+  bool has_grad() const;
+
+  /// Clears the accumulated gradient (keeps the buffer).
+  void ZeroGrad();
+
+  /// Runs backpropagation from this variable, which must be a scalar.
+  /// Seeds d(self)/d(self) = 1 and accumulates into every reachable leaf
+  /// with requires_grad set.
+  void Backward() const;
+
+  /// Shape helpers forwarded to the value tensor.
+  int64_t rows() const { return value().rows(); }
+  int64_t cols() const { return value().cols(); }
+
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+  /// Internal: constructs from an existing node (used by ops.cc).
+  static Variable FromNode(std::shared_ptr<Node> node);
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Makes a non-differentiable constant variable.
+Variable Constant(Tensor value);
+
+}  // namespace ag
+}  // namespace embsr
+
+#endif  // EMBSR_AUTOGRAD_VARIABLE_H_

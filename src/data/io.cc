@@ -1,0 +1,84 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace embsr {
+
+Status WriteSessionsCsv(const std::vector<Session>& sessions,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  out << "session_id,item_id,operation_id\n";
+  for (size_t sid = 0; sid < sessions.size(); ++sid) {
+    for (const auto& e : sessions[sid].events) {
+      out << sid << ',' << e.item << ',' << e.operation << '\n';
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<std::vector<Session>> ReadSessionsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty file '" + path + "'");
+  }
+  if (line != "session_id,item_id,operation_id") {
+    return Status::InvalidArgument("bad header in '" + path + "': " + line);
+  }
+
+  std::vector<Session> sessions;
+  int64_t current_sid = -1;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 3 fields");
+    }
+    int64_t values[3] = {0, 0, 0};
+    bool numeric = true;
+    for (int f = 0; f < 3; ++f) {
+      char* end = nullptr;
+      values[f] = std::strtoll(fields[f].c_str(), &end, 10);
+      numeric = numeric && end != fields[f].c_str() && *end == '\0';
+    }
+    if (!numeric) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": non-numeric field");
+    }
+    const int64_t sid = values[0], item = values[1], op = values[2];
+    if (sid < 0 || item < 0 || op < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": negative id");
+    }
+    if (sid != current_sid) {
+      // New session. Rows of one session must be contiguous; a jump back to
+      // an earlier id would silently merge sessions, so reject it.
+      if (!sessions.empty() && sid < current_sid) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": session ids must be non-decreasing");
+      }
+      sessions.emplace_back();
+      current_sid = sid;
+    }
+    sessions.back().events.push_back({item, op});
+  }
+  return sessions;
+}
+
+}  // namespace embsr

@@ -1,0 +1,33 @@
+#ifndef EMBSR_DATA_IO_H_
+#define EMBSR_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/session.h"
+#include "util/status.h"
+
+namespace embsr {
+
+/// On-disk interchange for micro-behavior logs.
+///
+/// Format: CSV with a header, one micro-behavior per line,
+///
+///   session_id,item_id,operation_id
+///
+/// sorted by session and time within each session (rows of one session must
+/// be contiguous; their order is the chronological event order). This is
+/// the shape the public JD/Trivago dumps use after column projection, so a
+/// downstream user can export their log with one SQL query.
+
+/// Writes sessions to `path`. Session ids are assigned 0..n-1.
+Status WriteSessionsCsv(const std::vector<Session>& sessions,
+                        const std::string& path);
+
+/// Reads sessions from `path`. Fails with InvalidArgument on malformed
+/// rows, negative ids, or a missing header.
+Result<std::vector<Session>> ReadSessionsCsv(const std::string& path);
+
+}  // namespace embsr
+
+#endif  // EMBSR_DATA_IO_H_

@@ -1,0 +1,62 @@
+#ifndef EMBSR_DATA_SESSION_H_
+#define EMBSR_DATA_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace embsr {
+
+/// One micro-behavior: a user performs `operation` on `item` (the tuple
+/// s_i = (v_i, o_i) of the paper, Sec. II-B).
+struct MicroBehavior {
+  int64_t item = 0;
+  int64_t operation = 0;
+
+  friend bool operator==(const MicroBehavior& a,
+                         const MicroBehavior& b) = default;
+};
+
+/// A raw interaction session: the chronological micro-behavior sequence S_t.
+struct Session {
+  std::vector<MicroBehavior> events;
+};
+
+/// A preprocessed training/evaluation example.
+///
+/// Successive micro-behaviors on the same item are merged into one macro
+/// item with its operation sub-sequence (Sec. II-B). The *last* macro item
+/// of the session is the prediction target and is removed from the inputs
+/// (including its micro-behaviors) to avoid the v_t == v_{t+1} leakage the
+/// paper warns about.
+struct Example {
+  /// Macro-item sequence S^v (input part, length n-1 of the paper's n).
+  std::vector<int64_t> macro_items;
+  /// Per macro item, its micro-operation sequence o^i (parallel to
+  /// macro_items; each inner vector is non-empty).
+  std::vector<std::vector<int64_t>> macro_ops;
+  /// The flat micro-behavior sequence (items) feeding the self-attention.
+  std::vector<int64_t> flat_items;
+  /// The flat micro-behavior sequence (operations), parallel to flat_items.
+  std::vector<int64_t> flat_ops;
+  /// Ground-truth next macro item v^{n}.
+  int64_t target = 0;
+};
+
+/// Fully preprocessed dataset: contiguous item/operation ids and the three
+/// splits of the paper's protocol (70% / 10% / 20%).
+struct ProcessedDataset {
+  std::string name;
+  int64_t num_items = 0;
+  int64_t num_operations = 0;
+  std::vector<Example> train;
+  std::vector<Example> valid;
+  std::vector<Example> test;
+
+  /// Total number of micro-behaviors over all examples (Table II row).
+  int64_t TotalMicroBehaviors() const;
+};
+
+}  // namespace embsr
+
+#endif  // EMBSR_DATA_SESSION_H_

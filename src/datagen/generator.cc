@@ -1,0 +1,364 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace embsr {
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// Browsing styles driving operation emission (the paper's Fig. 1 users).
+enum Style { kResearcher = 0, kDirectBuyer = 1, kWindowShopper = 2 };
+
+/// Engagement depth score of an operation list; the target is planted near
+/// the item with the highest depth, so depth is the signal models must
+/// recover from the operations.
+double DepthScore(const std::vector<int64_t>& ops, int num_operations) {
+  double d = 0.0;
+  const bool jd = num_operations >= 10;
+  for (int64_t op : ops) {
+    if (jd) {
+      switch (op) {
+        case kJdReadDetail: d += 1.0; break;
+        case kJdReadComments: d += 2.0; break;
+        case kJdCompareList: d += 0.5; break;
+        case kJdAddToCart: d += 3.0; break;
+        case kJdOrder: d += 5.0; break;
+        case kJdFavorite: d += 1.0; break;
+        case kJdShare: d += 0.5; break;
+        default: break;
+      }
+    } else {
+      switch (op) {
+        case kTrvImage: d += 1.0; break;
+        case kTrvInfo: d += 1.0; break;
+        case kTrvDeals: d += 2.0; break;
+        case kTrvRating: d += 1.5; break;
+        case kTrvClickout: d += 4.0; break;
+        default: break;
+      }
+    }
+  }
+  return d;
+}
+
+std::vector<int64_t> EmitOpsJd(double affinity, Style style, Rng* rng) {
+  std::vector<int64_t> ops{kJdClick};
+  if (rng->Bernoulli(0.10)) ops.push_back(kJdHover);
+  const bool detail = rng->Bernoulli(Clamp01(0.25 + 1.1 * affinity));
+  if (detail) ops.push_back(kJdReadDetail);
+  bool comments = false;
+  if (style == kResearcher && detail &&
+      rng->Bernoulli(Clamp01(0.3 + affinity))) {
+    ops.push_back(kJdReadComments);
+    comments = true;
+  }
+  if (rng->Bernoulli(0.12)) ops.push_back(kJdCompareList);
+  if (rng->Bernoulli(0.04 + 0.10 * affinity)) ops.push_back(kJdFavorite);
+  bool cart = false;
+  double p_cart = Clamp01((affinity - 0.40) * 1.6);
+  if (style == kResearcher && comments) p_cart = Clamp01(p_cart + 0.15);
+  if (style == kWindowShopper) p_cart *= 0.3;
+  if (rng->Bernoulli(p_cart)) {
+    ops.push_back(kJdAddToCart);
+    cart = true;
+  }
+  double p_order = 0.0;
+  if (cart) {
+    p_order = Clamp01((affinity - 0.55) * 1.8);
+  } else if (style == kDirectBuyer) {
+    // Direct buyers sometimes order straight from the product page,
+    // giving the <click, order> dyadic pattern of the paper's Fig. 1.
+    p_order = Clamp01((affinity - 0.65) * 1.5);
+  }
+  if (rng->Bernoulli(p_order)) ops.push_back(kJdOrder);
+  if (rng->Bernoulli(0.03)) ops.push_back(kJdShare);
+  return ops;
+}
+
+std::vector<int64_t> EmitOpsTrivago(double affinity, Style style, Rng* rng) {
+  std::vector<int64_t> ops{kTrvImpression};
+  if (rng->Bernoulli(Clamp01(0.3 + affinity))) ops.push_back(kTrvImage);
+  if (style == kResearcher && rng->Bernoulli(Clamp01(0.2 + affinity))) {
+    ops.push_back(kTrvRating);
+  }
+  if (rng->Bernoulli(Clamp01(0.15 + 0.8 * affinity))) ops.push_back(kTrvInfo);
+  if (rng->Bernoulli(Clamp01((affinity - 0.35) * 1.4))) {
+    ops.push_back(kTrvDeals);
+  }
+  double p_out = Clamp01((affinity - 0.5) * 1.6);
+  if (style == kWindowShopper) p_out *= 0.3;
+  if (rng->Bernoulli(p_out)) ops.push_back(kTrvClickout);
+  return ops;
+}
+
+}  // namespace
+
+GeneratorConfig JdAppliancesConfig(double scale) {
+  GeneratorConfig c;
+  c.name = "JD-Appliances";
+  c.num_sessions = std::max(200, static_cast<int>(6000 * scale));
+  c.num_categories = 12;
+  c.items_per_category = 40;
+  c.num_operations = 10;
+  c.min_macro_len = 3;
+  c.max_macro_len = 12;
+  c.zipf_alpha = 1.1;
+  c.revisit_prob = 0.15;
+  c.drift_prob = 0.25;
+  c.signal_strength = 0.85;
+  c.target_repeat_prob = 0.35;
+  c.accessory_target_prob = 0.55;
+  c.base_affinity = 0.18;
+  c.seed = 20220501;
+  return c;
+}
+
+GeneratorConfig JdComputersConfig(double scale) {
+  GeneratorConfig c;
+  c.name = "JD-Computers";
+  c.num_sessions = std::max(200, static_cast<int>(6000 * scale));
+  c.num_categories = 14;
+  c.items_per_category = 45;
+  c.num_operations = 10;
+  c.min_macro_len = 3;
+  c.max_macro_len = 12;
+  c.zipf_alpha = 1.0;
+  c.revisit_prob = 0.12;
+  c.drift_prob = 0.35;
+  c.signal_strength = 0.80;
+  c.target_repeat_prob = 0.25;
+  c.accessory_target_prob = 0.60;
+  c.base_affinity = 0.15;
+  c.seed = 20220502;
+  return c;
+}
+
+GeneratorConfig TrivagoConfig(double scale) {
+  GeneratorConfig c;
+  c.name = "Trivago";
+  c.num_sessions = std::max(200, static_cast<int>(4500 * scale));
+  c.num_categories = 20;
+  c.items_per_category = 40;
+  c.num_operations = 6;
+  c.min_macro_len = 3;
+  c.max_macro_len = 9;
+  c.zipf_alpha = 0.9;
+  c.revisit_prob = 0.0;     // hotel searches rarely loop back
+  c.drift_prob = 0.30;
+  c.signal_strength = 0.80;
+  c.target_repeat_prob = 0.0;  // the clicked-out hotel is a *new* item
+  c.accessory_target_prob = 0.45;
+  c.base_affinity = 0.15;
+  c.seed = 20220503;
+  return c;
+}
+
+std::vector<Session> GenerateSessions(const GeneratorConfig& cfg) {
+  EMBSR_CHECK_GT(cfg.num_sessions, 0);
+  EMBSR_CHECK_GE(cfg.min_macro_len, 2);
+  EMBSR_CHECK_GE(cfg.max_macro_len, cfg.min_macro_len);
+  Rng rng(cfg.seed);
+  const bool jd = cfg.num_operations >= 10;
+  const std::vector<double> zipf =
+      ZipfWeights(cfg.items_per_category, cfg.zipf_alpha);
+  const std::vector<double> cat_pop = ZipfWeights(cfg.num_categories, 0.8);
+
+  auto item_id = [&](int cat, int local) {
+    return static_cast<int64_t>(cat) * cfg.items_per_category + local;
+  };
+  auto cat_of = [&](int64_t item) {
+    return static_cast<int>(item / cfg.items_per_category);
+  };
+  auto local_of = [&](int64_t item) {
+    return static_cast<int>(item % cfg.items_per_category);
+  };
+  auto accessory_cat = [&](int cat) { return (cat + 1) % cfg.num_categories; };
+
+  std::vector<Session> sessions;
+  sessions.reserve(cfg.num_sessions);
+
+  for (int s = 0; s < cfg.num_sessions; ++s) {
+    Session session;
+    const double style_draw = rng.Uniform();
+    const Style style = style_draw < 0.40   ? kResearcher
+                        : style_draw < 0.75 ? kDirectBuyer
+                                            : kWindowShopper;
+    const int pref_cat = static_cast<int>(rng.Categorical(cat_pop));
+    int cur_cat = pref_cat;
+    const int macro_len = cfg.min_macro_len +
+                          static_cast<int>(rng.UniformInt(
+                              cfg.max_macro_len - cfg.min_macro_len + 1));
+
+    std::vector<int64_t> visited;
+    int64_t deepest_item = -1;
+    double deepest_depth = -1.0;
+    bool deepest_strong = false;  // cart/order (JD), deals/clickout (Trivago)
+    int64_t last_item = -1;
+
+    for (int step = 0; step < macro_len - 1; ++step) {
+      int64_t item;
+      if (!visited.empty() && rng.Bernoulli(cfg.revisit_prob)) {
+        item = visited[rng.UniformInt(visited.size())];
+      } else {
+        const int local = static_cast<int>(rng.Categorical(zipf));
+        item = item_id(cur_cat, local);
+      }
+      if (item == last_item) {
+        // Avoid degenerate immediate self-transitions; shift to a neighbour.
+        const int local = (local_of(item) + 1) % cfg.items_per_category;
+        item = item_id(cat_of(item), local);
+      }
+      last_item = item;
+      visited.push_back(item);
+
+      double affinity = cfg.base_affinity +
+                        (cat_of(item) == pref_cat ? 0.45 : 0.0) +
+                        rng.Normal(0.0, 0.15);
+      if (style == kWindowShopper) affinity *= 0.55;
+      affinity = Clamp01(affinity);
+
+      const std::vector<int64_t> ops =
+          jd ? EmitOpsJd(affinity, style, &rng)
+             : EmitOpsTrivago(affinity, style, &rng);
+      for (int64_t op : ops) session.events.push_back({item, op});
+
+      const double depth = DepthScore(ops, cfg.num_operations);
+      if (depth > deepest_depth) {
+        deepest_depth = depth;
+        deepest_item = item;
+        deepest_strong = false;
+        for (int64_t op : ops) {
+          if (jd ? (op == kJdAddToCart || op == kJdOrder)
+                 : (op == kTrvDeals || op == kTrvClickout)) {
+            deepest_strong = true;
+          }
+        }
+      }
+
+      // Operation-conditioned transition: this is what makes the next item
+      // predictable *from the operations*.
+      const bool ordered =
+          jd && std::find(ops.begin(), ops.end(),
+                          static_cast<int64_t>(kJdOrder)) != ops.end();
+      const bool carted =
+          jd && std::find(ops.begin(), ops.end(),
+                          static_cast<int64_t>(kJdAddToCart)) != ops.end();
+      if (ordered) {
+        cur_cat = accessory_cat(cat_of(item));
+      } else if (carted) {
+        cur_cat = cat_of(item);  // keep comparing in the same category
+      } else if (rng.Bernoulli(cfg.drift_prob)) {
+        cur_cat = rng.Bernoulli(0.5)
+                      ? pref_cat
+                      : static_cast<int>(rng.UniformInt(cfg.num_categories));
+      }
+    }
+
+    // Plant the ground-truth last item.
+    std::unordered_set<int64_t> seen(visited.begin(), visited.end());
+    int64_t target = -1;
+    if (deepest_item >= 0 && rng.Bernoulli(cfg.signal_strength)) {
+      if (deepest_strong && rng.Bernoulli(cfg.accessory_target_prob)) {
+        // Strong intent resolved: the user moves on to the accessory
+        // category, at a position mirroring the deepest item. Only the
+        // operations reveal that a session takes this branch.
+        const int acat = accessory_cat(cat_of(deepest_item));
+        for (int attempt = 0; attempt < 8 && target < 0; ++attempt) {
+          int local = local_of(deepest_item) +
+                      static_cast<int>(rng.UniformInt(4)) - 1;
+          local = std::max(0, std::min(cfg.items_per_category - 1, local));
+          const int64_t cand = item_id(acat, local);
+          if (cfg.target_repeat_prob == 0.0 && seen.contains(cand)) continue;
+          target = cand;
+        }
+      } else if (rng.Bernoulli(cfg.target_repeat_prob)) {
+        target = deepest_item;
+      } else {
+        // A similar item: same category, neighbouring id (possibly unseen).
+        // The browsing style fixes the direction (researchers trade down,
+        // direct buyers trade up) — another operation-visible signal.
+        const int cat = cat_of(deepest_item);
+        const int dir = style == kResearcher ? -1 : 1;
+        for (int attempt = 0; attempt < 8 && target < 0; ++attempt) {
+          const int delta = dir * (1 + static_cast<int>(rng.UniformInt(3)));
+          int local = local_of(deepest_item) + delta;
+          local = std::max(0, std::min(cfg.items_per_category - 1, local));
+          const int64_t cand = item_id(cat, local);
+          if (cand == deepest_item) continue;
+          if (cfg.target_repeat_prob == 0.0 && seen.contains(cand)) continue;
+          target = cand;
+        }
+      }
+    }
+    if (target < 0) {
+      // Popularity fallback within the preferred category.
+      for (int attempt = 0; attempt < 8 && target < 0; ++attempt) {
+        const int local = static_cast<int>(rng.Categorical(zipf));
+        const int64_t cand = item_id(pref_cat, local);
+        if (cfg.target_repeat_prob == 0.0 && seen.contains(cand)) continue;
+        if (cand == last_item) continue;
+        target = cand;
+      }
+      if (target < 0) target = item_id(pref_cat, 0);
+    }
+    if (target == last_item) {
+      // Merging would fold the target into the last input item; nudge it.
+      const int local = (local_of(target) + 1) % cfg.items_per_category;
+      target = item_id(cat_of(target), local);
+    }
+    if (cfg.target_repeat_prob == 0.0) {
+      // No-repeat datasets (Trivago): the fallback paths above may still
+      // have landed on a visited item; walk the category until unseen.
+      for (int step = 1; step < cfg.items_per_category &&
+                         (seen.contains(target) || target == last_item);
+           ++step) {
+        const int local = (local_of(target) + 1) % cfg.items_per_category;
+        target = item_id(cat_of(target), local);
+      }
+    }
+
+    // The target item's own (withheld) micro-behaviors.
+    session.events.push_back({target, jd ? static_cast<int64_t>(kJdClick)
+                                         : static_cast<int64_t>(kTrvImpression)});
+    if (rng.Bernoulli(0.5)) {
+      session.events.push_back(
+          {target, jd ? static_cast<int64_t>(kJdReadDetail)
+                      : static_cast<int64_t>(kTrvInfo)});
+    }
+    sessions.push_back(std::move(session));
+  }
+  return sessions;
+}
+
+PreprocessConfig PreprocessConfigFor(const GeneratorConfig& cfg) {
+  PreprocessConfig p;
+  const double sessions_scale = cfg.num_sessions / 4000.0;
+  const bool jd = cfg.num_operations >= 10;
+  p.min_item_support =
+      std::max(2, static_cast<int>((jd ? 8 : 4) * sessions_scale));
+  p.max_session_events = 60;
+  p.shuffle = true;
+  p.shuffle_seed = cfg.seed ^ 0x5bd1e995;
+  return p;
+}
+
+Result<ProcessedDataset> MakeDataset(const GeneratorConfig& config) {
+  return Preprocess(GenerateSessions(config), config.num_operations,
+                    PreprocessConfigFor(config), config.name);
+}
+
+Result<ProcessedDataset> MakeDatasetSingleOp(const GeneratorConfig& config,
+                                             int64_t operation) {
+  PreprocessConfig p = PreprocessConfigFor(config);
+  p.restrict_macro_to_operation = operation;
+  return Preprocess(GenerateSessions(config), config.num_operations, p,
+                    config.name + "-single-op");
+}
+
+}  // namespace embsr

@@ -1,0 +1,119 @@
+#ifndef EMBSR_DATAGEN_GENERATOR_H_
+#define EMBSR_DATAGEN_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/preprocess.h"
+#include "data/session.h"
+#include "util/rng.h"
+
+namespace embsr {
+
+/// Configuration of the synthetic micro-behavior session simulator.
+///
+/// The simulator stands in for the paper's proprietary JD.com and Trivago
+/// logs. Its design goal is not realism per se but *planting the signal the
+/// paper studies*: the next item depends on the user's micro-operations
+/// (engagement depth, add-to-cart/order events), so models that decode
+/// operations can out-predict models that only see the item sequence.
+///
+/// World model:
+///  - Items live in contiguous categories; popularity is Zipf within each
+///    category. Neighbouring item ids inside a category are "similar items"
+///    (e.g. the same mouse pad in three sizes, as in the paper's Fig. 7).
+///  - A user has a preferred category, a browsing style (researcher /
+///    direct buyer / window shopper) and a per-item affinity. Style and
+///    affinity drive which operations are emitted on each item via an
+///    engagement ladder (click -> detail -> comments -> cart -> order).
+///  - Transitions react to operations: an order jumps to the accessory
+///    category, a cart keeps comparing similar items, shallow clicks drift.
+///  - The ground-truth last item is drawn near the most deeply engaged item
+///    with probability `signal_strength` (and may be that very item with
+///    probability `target_repeat_prob`), otherwise from the preferred
+///    category's popularity. Trivago-style presets set target_repeat_prob
+///    to ~0 and forbid revisits, reproducing the paper's observation that
+///    S-POP scores zero there.
+struct GeneratorConfig {
+  std::string name = "synthetic";
+  int num_sessions = 4000;
+  int num_categories = 10;
+  int items_per_category = 40;
+  /// Operation vocabulary size: 10 for the JD presets, 6 for Trivago.
+  int num_operations = 10;
+  /// Macro-item session length range (before preprocessing).
+  int min_macro_len = 3;
+  int max_macro_len = 12;
+  /// Zipf exponent for item popularity within a category.
+  double zipf_alpha = 1.1;
+  /// Probability that a macro step revisits an earlier item of the session.
+  double revisit_prob = 0.15;
+  /// Probability that a shallow engagement switches category.
+  double drift_prob = 0.25;
+  /// Probability that the target is tied to the deepest-engaged item
+  /// (the micro-behavior signal); else it is a popularity draw.
+  double signal_strength = 0.85;
+  /// Probability that the signal-following target is *exactly* the deepest
+  /// item (repeat purchase); JD-like presets > 0, Trivago-like ~ 0.
+  double target_repeat_prob = 0.5;
+  /// When the deepest engagement showed *strong intent* (add-to-cart/order,
+  /// or deals/click-out for Trivago), probability that the target jumps to
+  /// the accessory category instead of staying near the deepest item. This
+  /// branch is what defeats pure item-co-occurrence methods: sessions with
+  /// the same items split between two far-apart targets, and only the
+  /// operations reveal which branch a session is on.
+  double accessory_target_prob = 0.35;
+  /// Base engagement level added to every item visit.
+  double base_affinity = 0.15;
+  uint64_t seed = 42;
+
+  int num_items() const { return num_categories * items_per_category; }
+};
+
+/// Operation ids used by the JD-style engagement ladder (10 operations).
+enum JdOperation : int64_t {
+  kJdClick = 0,
+  kJdReadDetail = 1,
+  kJdReadComments = 2,
+  kJdCompareList = 3,
+  kJdAddToCart = 4,
+  kJdOrder = 5,
+  kJdFavorite = 6,
+  kJdShare = 7,
+  kJdBrowseFilter = 8,
+  kJdHover = 9,
+};
+
+/// Operation ids used by the Trivago-style ladder (6 operations).
+enum TrivagoOperation : int64_t {
+  kTrvImpression = 0,
+  kTrvImage = 1,
+  kTrvInfo = 2,
+  kTrvDeals = 3,
+  kTrvRating = 4,
+  kTrvClickout = 5,
+};
+
+/// Dataset presets mirroring the paper's three datasets, scaled for CPU.
+/// `scale` multiplies the session count (1.0 = repo default size).
+GeneratorConfig JdAppliancesConfig(double scale = 1.0);
+GeneratorConfig JdComputersConfig(double scale = 1.0);
+GeneratorConfig TrivagoConfig(double scale = 1.0);
+
+/// Generates raw sessions from the config's generative model.
+std::vector<Session> GenerateSessions(const GeneratorConfig& config);
+
+/// Preprocessing settings matched to each preset's scale.
+PreprocessConfig PreprocessConfigFor(const GeneratorConfig& config);
+
+/// Convenience: generate + preprocess in one call.
+Result<ProcessedDataset> MakeDataset(const GeneratorConfig& config);
+
+/// Convenience: generate + preprocess with the macro sequence restricted to
+/// a single operation type (the supplement's protocol).
+Result<ProcessedDataset> MakeDatasetSingleOp(const GeneratorConfig& config,
+                                             int64_t operation);
+
+}  // namespace embsr
+
+#endif  // EMBSR_DATAGEN_GENERATOR_H_

@@ -1,0 +1,69 @@
+#ifndef EMBSR_GRAPH_SESSION_GRAPH_H_
+#define EMBSR_GRAPH_SESSION_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace embsr {
+
+/// The directed multigraph a session is converted into (paper Sec. IV-B-1,
+/// Fig. 3, "the second way").
+///
+/// Nodes are the *distinct* items of the macro sequence, in order of first
+/// appearance. Every transition v^i -> v^{i+1} becomes its own edge carrying
+/// the position `order = i` so that the message passed along it can use the
+/// micro-operation sequence the source item had *at that position* — this is
+/// exactly what a collapsed weighted graph (Fig. 3's first way) loses.
+/// The star node of SGNN-HN is implicit: it is handled by the model, not
+/// stored here, because it connects to every satellite bidirectionally.
+class SessionMultigraph {
+ public:
+  struct Edge {
+    int src = 0;    ///< node index of v^i
+    int dst = 0;    ///< node index of v^{i+1}
+    int order = 0;  ///< position i in the macro sequence (0-based)
+  };
+
+  /// Builds the multigraph of a macro-item sequence.
+  static SessionMultigraph Build(const std::vector<int64_t>& macro_items);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Distinct items, indexable by node id.
+  const std::vector<int64_t>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge indices entering / leaving each node.
+  const std::vector<int>& in_edges(int node) const;
+  const std::vector<int>& out_edges(int node) const;
+
+  /// Maps each macro-sequence position to its node index (the "alias").
+  const std::vector<int>& alias() const { return alias_; }
+
+ private:
+  std::vector<int64_t> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> in_edges_;
+  std::vector<std::vector<int>> out_edges_;
+  std::vector<int> alias_;
+};
+
+/// The collapsed weighted session graph of SR-GNN (Fig. 3's first way):
+/// row-normalized in/out adjacency over distinct items. Returned matrices
+/// are [n, n] with n = number of distinct items; `alias` maps sequence
+/// positions to rows.
+struct SrgnnAdjacency {
+  std::vector<int64_t> nodes;
+  std::vector<int> alias;
+  Tensor a_in;
+  Tensor a_out;
+};
+
+SrgnnAdjacency BuildSrgnnAdjacency(const std::vector<int64_t>& macro_items);
+
+}  // namespace embsr
+
+#endif  // EMBSR_GRAPH_SESSION_GRAPH_H_

@@ -1,0 +1,103 @@
+#include "models/baselines_nonneural.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace embsr {
+
+Status SPop::Fit(const ProcessedDataset& data) {
+  std::vector<int64_t> counts(num_items_, 0);
+  int64_t max_count = 0;
+  for (const auto& ex : data.train) {
+    for (int64_t item : ex.macro_items) {
+      EMBSR_CHECK_LT(item, num_items_);
+      max_count = std::max(max_count, ++counts[item]);
+    }
+    max_count = std::max(max_count, ++counts[ex.target]);
+  }
+  global_pop_.assign(num_items_, 0.0f);
+  if (max_count > 0) {
+    for (int64_t i = 0; i < num_items_; ++i) {
+      global_pop_[i] =
+          0.5f * static_cast<float>(counts[i]) / static_cast<float>(max_count);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<float> SPop::ScoreAll(const Example& ex) {
+  std::vector<float> scores = global_pop_;
+  for (int64_t item : ex.macro_items) {
+    if (item >= 0 && item < num_items_) scores[item] += 1.0f;
+  }
+  return scores;
+}
+
+Status Sknn::Fit(const ProcessedDataset& data) {
+  session_items_.clear();
+  item_to_sessions_.assign(num_items_, {});
+  session_items_.reserve(data.train.size());
+  for (const auto& ex : data.train) {
+    std::unordered_set<int64_t> set(ex.macro_items.begin(),
+                                    ex.macro_items.end());
+    set.insert(ex.target);
+    std::vector<int64_t> items(set.begin(), set.end());
+    std::sort(items.begin(), items.end());
+    const int32_t sid = static_cast<int32_t>(session_items_.size());
+    for (int64_t item : items) {
+      EMBSR_CHECK_LT(item, num_items_);
+      item_to_sessions_[item].push_back(sid);
+    }
+    session_items_.push_back(std::move(items));
+  }
+  return Status::OK();
+}
+
+std::vector<float> Sknn::ScoreAll(const Example& ex) {
+  std::vector<float> scores(num_items_, 0.0f);
+  std::unordered_set<int64_t> current(ex.macro_items.begin(),
+                                      ex.macro_items.end());
+  if (current.empty()) return scores;
+
+  // Count shared items with candidate neighbour sessions.
+  std::unordered_map<int32_t, int> overlap;
+  for (int64_t item : current) {
+    const auto& sessions = item_to_sessions_[item];
+    // For very popular items, cap the scanned postings for speed.
+    const size_t limit = std::min(sessions.size(), max_candidates_);
+    for (size_t i = 0; i < limit; ++i) ++overlap[sessions[i]];
+  }
+  if (overlap.empty()) return scores;
+
+  struct Neighbour {
+    int32_t sid;
+    float sim;
+  };
+  std::vector<Neighbour> neighbours;
+  neighbours.reserve(overlap.size());
+  const double cur_size = static_cast<double>(current.size());
+  for (const auto& [sid, shared] : overlap) {
+    const double sim =
+        shared / std::sqrt(cur_size *
+                           static_cast<double>(session_items_[sid].size()));
+    neighbours.push_back({sid, static_cast<float>(sim)});
+  }
+  const size_t k = std::min<size_t>(k_, neighbours.size());
+  std::partial_sort(neighbours.begin(), neighbours.begin() + k,
+                    neighbours.end(), [](const Neighbour& a,
+                                         const Neighbour& b) {
+                      return a.sim > b.sim;
+                    });
+  for (size_t i = 0; i < k; ++i) {
+    for (int64_t item : session_items_[neighbours[i].sid]) {
+      scores[item] += neighbours[i].sim;
+    }
+  }
+  return scores;
+}
+
+}  // namespace embsr

@@ -1,0 +1,53 @@
+#ifndef EMBSR_MODELS_BASELINES_NONNEURAL_H_
+#define EMBSR_MODELS_BASELINES_NONNEURAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "models/recommender.h"
+
+namespace embsr {
+
+/// S-POP: recommends the most popular items *within the current session*,
+/// breaking ties by global training popularity (Hidasi et al. 2016's
+/// session-popularity baseline). Scores zero-session items by a small
+/// global-popularity epsilon so the full ranking is defined.
+class SPop : public Recommender {
+ public:
+  explicit SPop(int64_t num_items) : num_items_(num_items) {}
+
+  std::string name() const override { return "S-POP"; }
+  Status Fit(const ProcessedDataset& data) override;
+  std::vector<float> ScoreAll(const Example& ex) override;
+
+ private:
+  int64_t num_items_;
+  std::vector<float> global_pop_;  // normalized to (0, 0.5]
+};
+
+/// SKNN: session-based k-nearest neighbours (Jannach & Ludewig 2017).
+/// Neighbour sessions are training sessions sharing at least one item with
+/// the current one; similarity is cosine over binary item sets; an item's
+/// score is the similarity-weighted count over the top-k neighbours.
+class Sknn : public Recommender {
+ public:
+  Sknn(int64_t num_items, int k = 100, size_t max_candidates = 1000)
+      : num_items_(num_items), k_(k), max_candidates_(max_candidates) {}
+
+  std::string name() const override { return "SKNN"; }
+  Status Fit(const ProcessedDataset& data) override;
+  std::vector<float> ScoreAll(const Example& ex) override;
+
+ private:
+  int64_t num_items_;
+  int k_;
+  size_t max_candidates_;
+  /// One entry per training session: its full item set (input + target).
+  std::vector<std::vector<int64_t>> session_items_;
+  /// item -> indices of sessions containing it (inverted index).
+  std::vector<std::vector<int32_t>> item_to_sessions_;
+};
+
+}  // namespace embsr
+
+#endif  // EMBSR_MODELS_BASELINES_NONNEURAL_H_

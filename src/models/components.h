@@ -1,0 +1,76 @@
+#ifndef EMBSR_MODELS_COMPONENTS_H_
+#define EMBSR_MODELS_COMPONENTS_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "graph/session_graph.h"
+#include "nn/layers.h"
+
+namespace embsr {
+
+/// One gated-GNN propagation step over the *collapsed* weighted session
+/// graph (Li et al. 2016 as used by SR-GNN): messages flow along the
+/// row-normalized in/out adjacency, then a GRU-style gate updates each node.
+/// Used by the SR-GNN, GC-SAN and MKM-SR baselines.
+class GgnnLayer : public nn::Module {
+ public:
+  GgnnLayer(int64_t dim, Rng* rng);
+
+  /// h: [n, d] node embeddings; adjacency from BuildSrgnnAdjacency.
+  ag::Variable Forward(const ag::Variable& h, const Tensor& a_in,
+                       const Tensor& a_out) const;
+
+ private:
+  nn::Linear in_proj_;
+  nn::Linear out_proj_;
+  ag::Variable w_z_, u_z_, w_r_, u_r_, w_h_, u_h_;  // gate weights
+};
+
+/// SR-GNN's soft-attention session readout: attends node embeddings against
+/// the last item's embedding and mixes the global vector with the local one.
+///   alpha_i = q^T sigmoid(W1 h_last + W2 h_i + c)
+///   s_g = sum_i alpha_i h_i ;  s = W3 [h_last ; s_g]
+class SoftAttentionReadout : public nn::Module {
+ public:
+  SoftAttentionReadout(int64_t dim, Rng* rng);
+
+  /// seq: [t, d] position-ordered item states. Returns [1, d].
+  ag::Variable Forward(const ag::Variable& seq) const;
+
+ private:
+  nn::Linear w1_;
+  nn::Linear w2_;
+  ag::Variable q_;
+  nn::Linear w3_;
+};
+
+/// A standard single-head transformer encoder block: scaled dot-product
+/// self-attention + position-wise FFN, both with residual connections and
+/// layer normalization. Used by GC-SAN, BERT4Rec and the EMBSR ablations
+/// with *standard* (non-operation-aware) attention.
+class SelfAttentionBlock : public nn::Module {
+ public:
+  SelfAttentionBlock(int64_t dim, Rng* rng, float dropout = 0.0f);
+
+  /// x: [t, d] -> [t, d]. `mask` (t x t of 0/1) marks allowed attention
+  /// edges; pass an all-ones tensor for full bidirectional attention.
+  ag::Variable Forward(const ag::Variable& x, const Tensor& mask,
+                       bool training, Rng* dropout_rng) const;
+
+ private:
+  nn::Linear wq_;
+  nn::Linear wk_;
+  nn::Linear wv_;
+  nn::FeedForward ffn_;
+  nn::LayerNorm ln1_;
+  nn::LayerNorm ln2_;
+  float dropout_;
+};
+
+/// Clamps position index to the embedding table size.
+int64_t ClampPosition(int64_t pos, int64_t max_positions);
+
+}  // namespace embsr
+
+#endif  // EMBSR_MODELS_COMPONENTS_H_

@@ -1,0 +1,141 @@
+#include "models/neural_model.h"
+
+#include <algorithm>
+
+#include "data/preprocess.h"
+#include "metrics/metrics.h"
+#include "optim/optimizer.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace embsr {
+
+NeuralSessionModel::NeuralSessionModel(std::string name, int64_t num_items,
+                                       int64_t num_operations,
+                                       const TrainConfig& config)
+    : name_(std::move(name)),
+      num_items_(num_items),
+      num_operations_(num_operations),
+      cfg_(config),
+      rng_(config.seed) {
+  EMBSR_CHECK_GT(num_items_, 0);
+  EMBSR_CHECK_GE(num_operations_, 0);
+}
+
+Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
+  if (data.train.empty()) {
+    return Status::InvalidArgument("empty training split");
+  }
+  if (data.num_items != num_items_) {
+    return Status::InvalidArgument("model/dataset item count mismatch");
+  }
+
+  std::vector<const Example*> train;
+  train.reserve(data.train.size());
+  for (const auto& ex : data.train) train.push_back(&ex);
+  if (cfg_.max_train_examples > 0 &&
+      static_cast<int>(train.size()) > cfg_.max_train_examples) {
+    rng_.Shuffle(&train);
+    train.resize(cfg_.max_train_examples);
+  }
+
+  optim::Adam opt(Parameters(), cfg_.lr, 0.9f, 0.999f, 1e-8f,
+                  cfg_.weight_decay);
+  optim::StepDecaySchedule schedule(cfg_.lr, cfg_.lr_decay_step,
+                                    cfg_.lr_decay_gamma);
+  const float inv_batch = 1.0f / static_cast<float>(cfg_.batch_size);
+
+  double best_mrr = -1.0;
+  std::vector<Tensor> best_params;
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    WallTimer timer;
+    SetTraining(true);
+    opt.set_lr(schedule.LrForEpoch(epoch));
+    rng_.Shuffle(&train);
+    double epoch_loss = 0.0;
+    int64_t steps = 0;
+
+    for (size_t begin = 0; begin < train.size();
+         begin += cfg_.batch_size) {
+      const size_t end =
+          std::min(begin + cfg_.batch_size, train.size());
+      opt.ZeroGrad();
+      for (size_t i = begin; i < end; ++i) {
+        const Example& ex = *train[i];
+        ag::Variable logits = Logits(ex);
+        ag::Variable loss =
+            ag::SoftmaxCrossEntropy(logits, {ex.target});
+        epoch_loss += loss.value().at(0);
+        // Scale so accumulated gradients equal the batch-mean gradient.
+        ag::Scale(loss, inv_batch).Backward();
+        ++steps;
+      }
+      if (cfg_.clip_norm > 0.0f) {
+        optim::ClipGradNorm(Parameters(), cfg_.clip_norm);
+      }
+      opt.Step();
+    }
+
+    if (cfg_.verbose) {
+      EMBSR_LOG(Info) << name_ << " epoch " << epoch + 1 << "/"
+                      << cfg_.epochs << " loss="
+                      << (steps > 0 ? epoch_loss / steps : 0.0)
+                      << " (" << timer.ElapsedSeconds() << "s)";
+    }
+
+    if (cfg_.validate_every > 0 && !data.valid.empty() &&
+        (epoch + 1) % cfg_.validate_every == 0) {
+      const double mrr = ValidationMrr(data.valid, 400);
+      if (mrr > best_mrr) {
+        best_mrr = mrr;
+        best_params = SnapshotParameters();
+      }
+      if (cfg_.verbose) {
+        EMBSR_LOG(Info) << name_ << " valid MRR@20=" << mrr;
+      }
+    }
+  }
+
+  if (!best_params.empty()) RestoreParameters(best_params);
+  SetTraining(false);
+  return Status::OK();
+}
+
+std::vector<float> NeuralSessionModel::ScoreAll(const Example& ex) {
+  const bool was_training = training();
+  SetTraining(false);
+  ag::Variable logits = Logits(ex);
+  SetTraining(was_training);
+  const Tensor& v = logits.value();
+  EMBSR_CHECK_EQ(v.size(), num_items_);
+  return std::vector<float>(v.data(), v.data() + v.size());
+}
+
+double NeuralSessionModel::ValidationMrr(const std::vector<Example>& split,
+                                         size_t cap) {
+  RankAccumulator acc;
+  const size_t n = std::min(split.size(), cap);
+  for (size_t i = 0; i < n; ++i) {
+    acc.Add(RankOfTarget(ScoreAll(split[i]), split[i].target));
+  }
+  return acc.MrrAt(20);
+}
+
+std::vector<Tensor> NeuralSessionModel::SnapshotParameters() const {
+  std::vector<Tensor> out;
+  for (const auto& p : Parameters()) out.push_back(p.value());
+  return out;
+}
+
+void NeuralSessionModel::RestoreParameters(
+    const std::vector<Tensor>& snapshot) {
+  auto params = Parameters();
+  EMBSR_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = snapshot[i];
+  }
+}
+
+}  // namespace embsr

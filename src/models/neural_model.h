@@ -1,0 +1,59 @@
+#ifndef EMBSR_MODELS_NEURAL_MODEL_H_
+#define EMBSR_MODELS_NEURAL_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "models/recommender.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace embsr {
+
+/// Base class for all gradient-trained session recommenders.
+///
+/// Subclasses implement Logits(example) -> [1, num_items]; the base provides
+/// the training loop (Adam, step-decay LR, gradient accumulation over
+/// mini-batches, global-norm clipping, best-on-validation checkpointing)
+/// and inference-mode scoring. Forward passes are per-session (the graphs
+/// differ per session), with gradients accumulated across the mini-batch —
+/// mathematically identical to batched training with mean loss.
+class NeuralSessionModel : public Recommender, public nn::Module {
+ public:
+  NeuralSessionModel(std::string name, int64_t num_items,
+                     int64_t num_operations, const TrainConfig& config);
+
+  std::string name() const override { return name_; }
+
+  Status Fit(const ProcessedDataset& data) override;
+
+  std::vector<float> ScoreAll(const Example& ex) override;
+
+  const TrainConfig& config() const { return cfg_; }
+  int64_t num_items() const { return num_items_; }
+  int64_t num_operations() const { return num_operations_; }
+
+ protected:
+  /// Unnormalized scores over all items for one example, differentiable.
+  virtual ag::Variable Logits(const Example& ex) = 0;
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  /// Mean reciprocal rank @20 on a split, in inference mode.
+  double ValidationMrr(const std::vector<Example>& split, size_t cap);
+
+  std::vector<Tensor> SnapshotParameters() const;
+  void RestoreParameters(const std::vector<Tensor>& snapshot);
+
+  std::string name_;
+  int64_t num_items_;
+  int64_t num_operations_;
+  TrainConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace embsr
+
+#endif  // EMBSR_MODELS_NEURAL_MODEL_H_

@@ -1,0 +1,112 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace embsr {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'M', 'B', 'S', 'R', 'C', 'K', 'P'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const auto params = module.NamedParameters();
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(params.size()));
+  for (const auto& np : params) {
+    WritePod(out, static_cast<uint32_t>(np.name.size()));
+    out.write(np.name.data(), static_cast<std::streamsize>(np.name.size()));
+    const Tensor& t = np.variable.value();
+    WritePod(out, static_cast<uint32_t>(t.ndim()));
+    for (int64_t d : t.shape()) WritePod(out, d);
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(sizeof(float) * t.size()));
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path, Module* module) {
+  if (module == nullptr) {
+    return Status::InvalidArgument("null module");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open '" + path + "'");
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a checkpoint");
+  }
+  uint32_t version = 0, count = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ReadPod(in, &count)) {
+    return Status::InvalidArgument("truncated checkpoint");
+  }
+  auto params = module->NamedParameters();
+  if (count != params.size()) {
+    return Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(count) + " parameters, module has " +
+        std::to_string(params.size()));
+  }
+  for (auto& np : params) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > 4096) {
+      return Status::InvalidArgument("truncated checkpoint (name length)");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in.good() || name != np.name) {
+      return Status::FailedPrecondition("parameter name mismatch: expected '" +
+                                        np.name + "', found '" + name + "'");
+    }
+    uint32_t rank = 0;
+    if (!ReadPod(in, &rank) || rank > 8) {
+      return Status::InvalidArgument("truncated checkpoint (rank)");
+    }
+    std::vector<int64_t> shape(rank);
+    for (auto& d : shape) {
+      if (!ReadPod(in, &d)) {
+        return Status::InvalidArgument("truncated checkpoint (dims)");
+      }
+    }
+    Tensor& dst = np.variable.mutable_value();
+    if (shape != dst.shape()) {
+      return Status::FailedPrecondition("shape mismatch for '" + np.name +
+                                        "'");
+    }
+    in.read(reinterpret_cast<char*>(dst.data()),
+            static_cast<std::streamsize>(sizeof(float) * dst.size()));
+    if (!in.good()) {
+      return Status::InvalidArgument("truncated checkpoint (data)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace embsr

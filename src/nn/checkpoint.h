@@ -1,0 +1,26 @@
+#ifndef EMBSR_NN_CHECKPOINT_H_
+#define EMBSR_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace embsr {
+namespace nn {
+
+/// Binary checkpointing of a module's trainable parameters.
+///
+/// Format (little-endian):
+///   magic "EMBSRCKP" (8 bytes), version u32, parameter count u32, then per
+///   parameter: name length u32 + name bytes, rank u32 + dims i64[], data
+///   f32[]. Loading verifies that names, order and shapes match the target
+///   module exactly, so a checkpoint can only be restored into the same
+///   architecture (by design: silent partial loads hide bugs).
+Status SaveCheckpoint(const Module& module, const std::string& path);
+Status LoadCheckpoint(const std::string& path, Module* module);
+
+}  // namespace nn
+}  // namespace embsr
+
+#endif  // EMBSR_NN_CHECKPOINT_H_

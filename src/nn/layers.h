@@ -1,0 +1,117 @@
+#ifndef EMBSR_NN_LAYERS_H_
+#define EMBSR_NN_LAYERS_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace embsr {
+namespace nn {
+
+/// All layers initialize weights Uniform(-1/sqrt(d), 1/sqrt(d)) where d is
+/// the hidden size, matching the initialization the paper inherits from
+/// MKM-SR ("the parameters are initialized the same with [12]").
+float InitBound(int64_t hidden_dim);
+
+/// y = x W + b, with W: [in, out].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool bias = true);
+
+  /// x: [n, in] -> [n, out].
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  const ag::Variable& weight() const { return weight_; }
+
+ private:
+  ag::Variable weight_;
+  ag::Variable bias_;
+  bool has_bias_;
+};
+
+/// A lookup table of `count` embeddings of dimension `dim`.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t count, int64_t dim, Rng* rng);
+
+  /// indices -> [indices.size(), dim].
+  ag::Variable Forward(const std::vector<int64_t>& indices) const;
+
+  /// The full table as a variable (e.g. as the candidate-item matrix when
+  /// scoring all items).
+  const ag::Variable& table() const { return table_; }
+
+  int64_t count() const { return count_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  ag::Variable table_;
+  int64_t count_;
+  int64_t dim_;
+};
+
+/// A single GRU step (cho et al. 2014 formulation, PyTorch gate layout).
+class GRUCell : public Module {
+ public:
+  GRUCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// x: [n, input_dim], h: [n, hidden_dim] -> [n, hidden_dim].
+  ag::Variable Forward(const ag::Variable& x, const ag::Variable& h) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  ag::Variable w_ir_, w_iz_, w_in_;  // input->gate weights [in, hid]
+  ag::Variable w_hr_, w_hz_, w_hn_;  // hidden->gate weights [hid, hid]
+  ag::Variable b_r_, b_z_, b_in_, b_hn_;
+};
+
+/// Unrolled GRU over a sequence whose rows are time steps.
+class GRU : public Module {
+ public:
+  GRU(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// xs: [t, input_dim]; returns all hidden states [t, hidden_dim].
+  /// The initial hidden state is zero.
+  ag::Variable Forward(const ag::Variable& xs) const;
+
+  /// Convenience: just the final hidden state [1, hidden_dim].
+  ag::Variable ForwardLast(const ag::Variable& xs) const;
+
+  int64_t hidden_dim() const { return cell_.hidden_dim(); }
+
+ private:
+  GRUCell cell_;
+};
+
+/// Row-wise layer normalization with learned affine (gamma, beta).
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim);
+
+  ag::Variable Forward(const ag::Variable& x) const;
+
+ private:
+  ag::Variable gamma_;
+  ag::Variable beta_;
+};
+
+/// Position-wise feed-forward network: max(0, x W1 + b1) W2 + b2 (Eq. 17).
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& x) const;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+}  // namespace nn
+}  // namespace embsr
+
+#endif  // EMBSR_NN_LAYERS_H_

@@ -1,0 +1,57 @@
+#include "nn/module.h"
+
+#include "util/check.h"
+
+namespace embsr {
+namespace nn {
+
+std::vector<NamedParameter> Module::NamedParameters() const {
+  std::vector<NamedParameter> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+std::vector<ag::Variable> Module::Parameters() const {
+  std::vector<ag::Variable> out;
+  for (const auto& np : NamedParameters()) out.push_back(np.variable);
+  return out;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t n = 0;
+  for (const auto& np : NamedParameters()) n += np.variable.value().size();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::ZeroGrad() {
+  for (auto& v : Parameters()) v.ZeroGrad();
+}
+
+ag::Variable Module::RegisterParameter(const std::string& name, Tensor init) {
+  ag::Variable v(std::move(init), /*requires_grad=*/true);
+  params_.push_back({name, v});
+  return v;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  EMBSR_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+void Module::CollectNamed(const std::string& prefix,
+                          std::vector<NamedParameter>* out) const {
+  for (const auto& p : params_) {
+    out->push_back({prefix + p.name, p.variable});
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix + name + ".", out);
+  }
+}
+
+}  // namespace nn
+}  // namespace embsr

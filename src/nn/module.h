@@ -1,0 +1,69 @@
+#ifndef EMBSR_NN_MODULE_H_
+#define EMBSR_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace embsr {
+namespace nn {
+
+/// A named trainable parameter handle.
+struct NamedParameter {
+  std::string name;
+  ag::Variable variable;
+};
+
+/// Base class for neural network building blocks.
+///
+/// A Module owns trainable parameters (registered at construction) and may
+/// contain child modules. Parameters() flattens the whole subtree for the
+/// optimizer; SetTraining toggles train/eval behaviour (dropout) recursively.
+/// Modules are neither copyable nor movable: children register raw pointers
+/// into their parent, so addresses must stay stable.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its descendants, prefixed by path.
+  std::vector<NamedParameter> NamedParameters() const;
+
+  /// Just the variable handles, for optimizers.
+  std::vector<ag::Variable> Parameters() const;
+
+  /// Total number of scalar weights in the subtree.
+  int64_t ParameterCount() const;
+
+  /// Switches train/eval mode (affects Dropout) for the whole subtree.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Zeroes all gradients in the subtree.
+  void ZeroGrad();
+
+ protected:
+  /// Registers a leaf parameter initialized with `init`; returns the handle.
+  ag::Variable RegisterParameter(const std::string& name, Tensor init);
+
+  /// Registers a child module (not owned).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<NamedParameter>* out) const;
+
+  std::vector<NamedParameter> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace embsr
+
+#endif  // EMBSR_NN_MODULE_H_

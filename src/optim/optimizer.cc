@@ -1,0 +1,111 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace embsr {
+namespace optim {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<ag::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.push_back(Tensor::Zeros(p.value().shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    Tensor g = p.GradOrZeros();
+    if (momentum_ != 0.0f) {
+      velocity_[i].ScaleInPlace(momentum_);
+      velocity_[i].AddInPlace(g);
+      g = velocity_[i];
+    }
+    p.mutable_value().SubInPlace(Scale(g, lr_));
+  }
+}
+
+Adam::Adam(std::vector<ag::Variable> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::Zeros(p.value().shape()));
+    v_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.GradOrZeros();
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    float* pw = p.mutable_value().data();
+    const float* pg = g.data();
+    const int64_t n = g.size();
+    for (int64_t k = 0; k < n; ++k) {
+      float gk = pg[k];
+      if (weight_decay_ != 0.0f) gk += weight_decay_ * pw[k];
+      pm[k] = beta1_ * pm[k] + (1.0f - beta1_) * gk;
+      pv[k] = beta2_ * pv[k] + (1.0f - beta2_) * gk * gk;
+      const float mhat = pm[k] / bc1;
+      const float vhat = pv[k] / bc2;
+      pw[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm) {
+  EMBSR_CHECK_GT(max_norm, 0.0f);
+  double total = 0.0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    const float n = p.GradOrZeros().L2Norm();
+    total += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& pv : params) {
+      // GradOrZeros copies; mutate via the node by re-accumulating scaled.
+      ag::Variable p = pv;
+      if (!p.has_grad()) continue;
+      Tensor g = p.GradOrZeros();
+      g.ScaleInPlace(scale);
+      p.ZeroGrad();
+      p.node()->AccumulateGrad(g);
+    }
+  }
+  return norm;
+}
+
+float StepDecaySchedule::LrForEpoch(int epoch) const {
+  EMBSR_CHECK_GE(epoch, 0);
+  EMBSR_CHECK_GT(step_size_, 0);
+  return base_lr_ * std::pow(gamma_, static_cast<float>(epoch / step_size_));
+}
+
+}  // namespace optim
+}  // namespace embsr

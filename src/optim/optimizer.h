@@ -1,0 +1,85 @@
+#ifndef EMBSR_OPTIM_OPTIMIZER_H_
+#define EMBSR_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace embsr {
+namespace optim {
+
+/// Interface for gradient-based optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the parameters' accumulated gradients.
+  /// Parameters with no accumulated gradient are skipped.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<ag::Variable> params_;
+  float lr_ = 0.001f;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Variable> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction; the paper's optimizer.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm);
+
+/// Multiplicative learning-rate decay: lr = base * gamma^(epoch / step_size).
+/// Matches the schedule in the paper's MKM-SR-derived training setup.
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(float base_lr, int step_size, float gamma)
+      : base_lr_(base_lr), step_size_(step_size), gamma_(gamma) {}
+
+  float LrForEpoch(int epoch) const;
+
+ private:
+  float base_lr_;
+  int step_size_;
+  float gamma_;
+};
+
+}  // namespace optim
+}  // namespace embsr
+
+#endif  // EMBSR_OPTIM_OPTIMIZER_H_

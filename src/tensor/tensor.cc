@@ -1,0 +1,495 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace embsr {
+
+namespace {
+
+int64_t ShapeSize(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    EMBSR_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor() : shape_{}, data_(1, 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), data_(ShapeSize(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, float fill)
+    : shape_(std::move(shape)), data_(ShapeSize(shape_), fill) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  EMBSR_CHECK_EQ(ShapeSize(shape_), static_cast<int64_t>(data_.size()));
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  return Tensor(std::move(shape), value);
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t;
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, float stddev, Rng* rng) {
+  EMBSR_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng->Normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::RandUniform(std::vector<int64_t> shape, float lo, float hi,
+                           Rng* rng) {
+  EMBSR_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng->Uniform(lo, hi));
+  return t;
+}
+
+int64_t Tensor::dim(int64_t axis) const {
+  EMBSR_CHECK_GE(axis, 0);
+  EMBSR_CHECK_LT(axis, ndim());
+  return shape_[axis];
+}
+
+int64_t Tensor::rows() const {
+  EMBSR_CHECK_LE(ndim(), 2);
+  if (ndim() < 2) return 1;
+  return shape_[0];
+}
+
+int64_t Tensor::cols() const {
+  EMBSR_CHECK_LE(ndim(), 2);
+  if (ndim() == 0) return 1;
+  return shape_.back();
+}
+
+float Tensor::at(int64_t i) const {
+  EMBSR_CHECK_GE(i, 0);
+  EMBSR_CHECK_LT(i, size());
+  return data_[i];
+}
+
+float& Tensor::at(int64_t i) {
+  EMBSR_CHECK_GE(i, 0);
+  EMBSR_CHECK_LT(i, size());
+  return data_[i];
+}
+
+float Tensor::at2(int64_t i, int64_t j) const {
+  EMBSR_CHECK_EQ(ndim(), 2);
+  EMBSR_CHECK_GE(i, 0);
+  EMBSR_CHECK_LT(i, shape_[0]);
+  EMBSR_CHECK_GE(j, 0);
+  EMBSR_CHECK_LT(j, shape_[1]);
+  return data_[i * shape_[1] + j];
+}
+
+float& Tensor::at2(int64_t i, int64_t j) {
+  EMBSR_CHECK_EQ(ndim(), 2);
+  EMBSR_CHECK_GE(i, 0);
+  EMBSR_CHECK_LT(i, shape_[0]);
+  EMBSR_CHECK_GE(j, 0);
+  EMBSR_CHECK_LT(j, shape_[1]);
+  return data_[i * shape_[1] + j];
+}
+
+bool Tensor::AllClose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string Tensor::ToString(int64_t max_elems) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeString() << " {";
+  int64_t n = std::min<int64_t>(size(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[i];
+  }
+  if (n < size()) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  EMBSR_CHECK_EQ(ShapeSize(new_shape), size());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::Transposed() const {
+  EMBSR_CHECK_EQ(ndim(), 2);
+  const int64_t n = shape_[0], m = shape_[1];
+  Tensor t({m, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      t.data_[j * n + i] = data_[i * m + j];
+    }
+  }
+  return t;
+}
+
+Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
+  EMBSR_CHECK_GE(begin, 0);
+  EMBSR_CHECK_LE(begin, end);
+  if (ndim() == 1) {
+    EMBSR_CHECK_LE(end, shape_[0]);
+    Tensor t({end - begin});
+    std::memcpy(t.data_.data(), data_.data() + begin,
+                sizeof(float) * (end - begin));
+    return t;
+  }
+  EMBSR_CHECK_EQ(ndim(), 2);
+  EMBSR_CHECK_LE(end, shape_[0]);
+  const int64_t d = shape_[1];
+  Tensor t({end - begin, d});
+  std::memcpy(t.data_.data(), data_.data() + begin * d,
+              sizeof(float) * (end - begin) * d);
+  return t;
+}
+
+Tensor Tensor::Row(int64_t r) const { return SliceRows(r, r + 1); }
+
+Tensor& Tensor::AddInPlace(const Tensor& other) {
+  EMBSR_CHECK(shape_ == other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::SubInPlace(const Tensor& other) {
+  EMBSR_CHECK(shape_ == other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::MulInPlace(const Tensor& other) {
+  EMBSR_CHECK(shape_ == other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::ScaleInPlace(float s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Tensor& Tensor::Fill(float value) {
+  for (auto& x : data_) x = value;
+  return *this;
+}
+
+float Tensor::L2Norm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+// -- Free kernels ------------------------------------------------------------
+
+namespace {
+
+template <typename F>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
+  EMBSR_CHECK(a.shape() == b.shape());
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+template <typename F>
+Tensor UnaryOp(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  EMBSR_CHECK_EQ(row.size(), a.dim(1));
+  Tensor out = a;
+  const int64_t n = a.dim(0), d = a.dim(1);
+  const float* pr = row.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) po[i * d + j] += pr[j];
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  EMBSR_CHECK_EQ(b.ndim(), 2);
+  EMBSR_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // ikj loop order for cache-friendly access to b and out.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * m;
+      float* orow = po + i * m;
+      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) acc += a.data()[i];
+  return Tensor::Scalar(static_cast<float>(acc));
+}
+
+Tensor SumRowsTo1xD(const Tensor& a) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0), d = a.dim(1);
+  Tensor out({1, d});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) out.data()[j] += a.data()[i * d + j];
+  }
+  return out;
+}
+
+Tensor SumColsToNx1(const Tensor& a) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0), d = a.dim(1);
+  Tensor out({n, 1});
+  for (int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < d; ++j) acc += a.data()[i * d + j];
+    out.data()[i] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+float MeanAll(const Tensor& a) {
+  EMBSR_CHECK_GT(a.size(), 0);
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) acc += a.data()[i];
+  return static_cast<float>(acc / static_cast<double>(a.size()));
+}
+
+Tensor RowSoftmax(const Tensor& a) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0), m = a.dim(1);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * m;
+    float* orow = out.data() + i * m;
+    float mx = row[0];
+    for (int64_t j = 1; j < m; ++j) mx = std::max(mx, row[j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < m; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      z += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (int64_t j = 0; j < m; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor RowSoftmaxMasked(const Tensor& a, const Tensor& mask) {
+  EMBSR_CHECK(a.shape() == mask.shape());
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0), m = a.dim(1);
+  Tensor masked = a;
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  for (int64_t i = 0; i < n * m; ++i) {
+    if (mask.data()[i] == 0.0f) masked.data()[i] = kNegInf;
+  }
+  // Rows that are entirely masked produce uniform outputs over zero weight;
+  // guard by checking the max.
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = masked.data() + i * m;
+    float* orow = out.data() + i * m;
+    float mx = kNegInf;
+    for (int64_t j = 0; j < m; ++j) mx = std::max(mx, row[j]);
+    if (mx == kNegInf) {
+      for (int64_t j = 0; j < m; ++j) orow[j] = 0.0f;
+      continue;
+    }
+    double z = 0.0;
+    for (int64_t j = 0; j < m; ++j) {
+      orow[j] = row[j] == kNegInf ? 0.0f : std::exp(row[j] - mx);
+      z += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (int64_t j = 0; j < m; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices) {
+  EMBSR_CHECK_EQ(table.ndim(), 2);
+  const int64_t d = table.dim(1);
+  Tensor out({static_cast<int64_t>(indices.size()), d});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    EMBSR_CHECK_GE(r, 0);
+    EMBSR_CHECK_LT(r, table.dim(0));
+    std::memcpy(out.data() + static_cast<int64_t>(i) * d,
+                table.data() + r * d, sizeof(float) * d);
+  }
+  return out;
+}
+
+void ScatterAddRows(const Tensor& grad_rows,
+                    const std::vector<int64_t>& indices, Tensor* grad_table) {
+  EMBSR_CHECK(grad_table != nullptr);
+  EMBSR_CHECK_EQ(grad_rows.ndim(), 2);
+  EMBSR_CHECK_EQ(grad_table->ndim(), 2);
+  EMBSR_CHECK_EQ(grad_rows.dim(0), static_cast<int64_t>(indices.size()));
+  EMBSR_CHECK_EQ(grad_rows.dim(1), grad_table->dim(1));
+  const int64_t d = grad_rows.dim(1);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    EMBSR_CHECK_GE(r, 0);
+    EMBSR_CHECK_LT(r, grad_table->dim(0));
+    float* dst = grad_table->data() + r * d;
+    const float* src = grad_rows.data() + static_cast<int64_t>(i) * d;
+    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  EMBSR_CHECK_EQ(b.ndim(), 2);
+  EMBSR_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t n = a.dim(0), da = a.dim(1), db = b.dim(1);
+  Tensor out({n, da + db});
+  for (int64_t i = 0; i < n; ++i) {
+    std::memcpy(out.data() + i * (da + db), a.data() + i * da,
+                sizeof(float) * da);
+    std::memcpy(out.data() + i * (da + db) + da, b.data() + i * db,
+                sizeof(float) * db);
+  }
+  return out;
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  EMBSR_CHECK_EQ(b.ndim(), 2);
+  EMBSR_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t d = a.dim(1);
+  Tensor out({a.dim(0) + b.dim(0), d});
+  std::memcpy(out.data(), a.data(), sizeof(float) * a.size());
+  std::memcpy(out.data() + a.size(), b.data(), sizeof(float) * b.size());
+  return out;
+}
+
+Tensor L2NormalizeRows(const Tensor& a, float eps) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0), d = a.dim(1);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * d;
+    float* orow = out.data() + i * d;
+    double acc = 0.0;
+    for (int64_t j = 0; j < d; ++j) acc += static_cast<double>(row[j]) * row[j];
+    const double norm = std::sqrt(acc);
+    if (norm < eps) continue;  // leave the zero row zero
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int64_t j = 0; j < d; ++j) orow[j] = row[j] * inv;
+  }
+  return out;
+}
+
+}  // namespace embsr

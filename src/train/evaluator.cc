@@ -1,0 +1,34 @@
+#include "train/evaluator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace embsr {
+
+std::vector<double> EvalResult::ReciprocalRanksAt(int k) const {
+  std::vector<double> out;
+  out.reserve(ranks.size());
+  for (int r : ranks) out.push_back(r <= k ? 1.0 / r : 0.0);
+  return out;
+}
+
+EvalResult Evaluate(Recommender* model, const std::vector<Example>& test,
+                    const std::vector<int>& ks, size_t max_examples) {
+  EMBSR_CHECK(model != nullptr);
+  EvalResult result;
+  RankAccumulator acc;
+  const size_t n =
+      max_examples == 0 ? test.size() : std::min(test.size(), max_examples);
+  result.ranks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<float> scores = model->ScoreAll(test[i]);
+    const int rank = RankOfTarget(scores, test[i].target);
+    acc.Add(rank);
+    result.ranks.push_back(rank);
+  }
+  result.report = ReportAt(acc, ks);
+  return result;
+}
+
+}  // namespace embsr

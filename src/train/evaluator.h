@@ -1,0 +1,29 @@
+#ifndef EMBSR_TRAIN_EVALUATOR_H_
+#define EMBSR_TRAIN_EVALUATOR_H_
+
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "models/recommender.h"
+
+namespace embsr {
+
+/// Outcome of evaluating one model on one test split.
+struct EvalResult {
+  MetricReport report;
+  /// Per-example 1-based rank of the ground truth (for significance tests).
+  std::vector<int> ranks;
+
+  /// Per-example reciprocal ranks capped at k (the quantity the paper's
+  /// Wilcoxon signed-rank test compares between systems).
+  std::vector<double> ReciprocalRanksAt(int k) const;
+};
+
+/// Scores every test example with the model and accumulates H@K / M@K.
+/// `max_examples` of 0 means the whole split.
+EvalResult Evaluate(Recommender* model, const std::vector<Example>& test,
+                    const std::vector<int>& ks, size_t max_examples = 0);
+
+}  // namespace embsr
+
+#endif  // EMBSR_TRAIN_EVALUATOR_H_

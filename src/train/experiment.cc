@@ -1,0 +1,80 @@
+#include "train/experiment.h"
+
+#include <algorithm>
+
+#include "train/model_zoo.h"
+#include "util/check.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace embsr {
+
+ExperimentResult RunExperiment(const std::string& model_name,
+                               const ProcessedDataset& data,
+                               const TrainConfig& config,
+                               const std::vector<int>& ks,
+                               size_t max_test) {
+  std::unique_ptr<Recommender> model =
+      CreateModel(model_name, data.num_items, data.num_operations, config);
+  EMBSR_CHECK_MSG(model != nullptr, "unknown model '%s'",
+                  model_name.c_str());
+
+  ExperimentResult result;
+  result.model = model_name;
+  result.dataset = data.name;
+
+  WallTimer fit_timer;
+  const Status status = model->Fit(data);
+  EMBSR_CHECK_OK(status);
+  result.fit_seconds = fit_timer.ElapsedSeconds();
+
+  WallTimer eval_timer;
+  result.eval = Evaluate(model.get(), data.test, ks, max_test);
+  result.eval_seconds = eval_timer.ElapsedSeconds();
+
+  EMBSR_LOG(Info) << data.name << " / " << model_name
+                  << ": fit=" << result.fit_seconds
+                  << "s eval=" << result.eval_seconds << "s H@20="
+                  << (result.eval.report.hit.contains(20)
+                          ? result.eval.report.hit.at(20)
+                          : 0.0);
+  return result;
+}
+
+TrainConfig BenchTrainConfig() {
+  TrainConfig cfg;
+  const double scale = BenchScale();
+  cfg.epochs = std::max(3, static_cast<int>(9 * scale));
+  cfg.batch_size = 64;
+  cfg.lr = 0.005f;
+  cfg.lr_decay_step = 5;
+  cfg.lr_decay_gamma = 0.5f;
+  cfg.embedding_dim = 64;
+  cfg.dropout = 0.2f;
+  cfg.max_train_examples = std::max(300, static_cast<int>(2200 * scale));
+  cfg.validate_every = 2;
+  return cfg;
+}
+
+std::string FormatMetricTable(const std::string& dataset,
+                              const std::vector<ExperimentResult>& results,
+                              const std::vector<int>& ks) {
+  std::vector<std::string> header{"Metric"};
+  for (const auto& r : results) header.push_back(r.model);
+  std::vector<std::vector<std::string>> rows;
+  for (int k : ks) {
+    std::vector<std::string> hit_row{"H@" + std::to_string(k)};
+    std::vector<std::string> mrr_row{"M@" + std::to_string(k)};
+    for (const auto& r : results) {
+      hit_row.push_back(FormatDouble(r.eval.report.hit.at(k)));
+      mrr_row.push_back(FormatDouble(r.eval.report.mrr.at(k)));
+    }
+    rows.push_back(std::move(hit_row));
+    rows.push_back(std::move(mrr_row));
+  }
+  return "Dataset: " + dataset + "\n" + RenderTable(header, rows);
+}
+
+}  // namespace embsr

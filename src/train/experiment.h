@@ -1,0 +1,42 @@
+#ifndef EMBSR_TRAIN_EXPERIMENT_H_
+#define EMBSR_TRAIN_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/session.h"
+#include "train/evaluator.h"
+
+namespace embsr {
+
+/// One trained-and-evaluated (model, dataset) cell of a results table.
+struct ExperimentResult {
+  std::string model;
+  std::string dataset;
+  EvalResult eval;
+  double fit_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+/// Trains `model_name` on `data` and evaluates on the test split at the
+/// given cutoffs. `max_test` of 0 evaluates the whole split.
+ExperimentResult RunExperiment(const std::string& model_name,
+                               const ProcessedDataset& data,
+                               const TrainConfig& config,
+                               const std::vector<int>& ks,
+                               size_t max_test = 0);
+
+/// The CPU-scaled default training configuration used by the benchmark
+/// harnesses; honors EMBSR_BENCH_SCALE for epochs/sample counts.
+TrainConfig BenchTrainConfig();
+
+/// Renders a paper-style results block: one row per metric (H@K, M@K per
+/// cutoff), one column per model.
+std::string FormatMetricTable(
+    const std::string& dataset,
+    const std::vector<ExperimentResult>& results,
+    const std::vector<int>& ks);
+
+}  // namespace embsr
+
+#endif  // EMBSR_TRAIN_EXPERIMENT_H_

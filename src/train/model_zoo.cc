@@ -1,0 +1,82 @@
+#include "train/model_zoo.h"
+
+#include "core/embsr_model.h"
+#include "models/baselines_gnn.h"
+#include "models/baselines_extra.h"
+#include "models/baselines_nonneural.h"
+#include "models/baselines_seq.h"
+
+namespace embsr {
+
+std::unique_ptr<Recommender> CreateModel(const std::string& name,
+                                         int64_t num_items,
+                                         int64_t num_operations,
+                                         const TrainConfig& config) {
+  if (name == "S-POP") return std::make_unique<SPop>(num_items);
+  if (name == "SKNN") return std::make_unique<Sknn>(num_items);
+  if (name == "NARM") {
+    return std::make_unique<Narm>(num_items, num_operations, config);
+  }
+  if (name == "STAMP") {
+    return std::make_unique<Stamp>(num_items, num_operations, config);
+  }
+  if (name == "SR-GNN") {
+    return std::make_unique<SrGnn>(num_items, num_operations, config);
+  }
+  if (name == "GC-SAN") {
+    return std::make_unique<GcSan>(num_items, num_operations, config);
+  }
+  if (name == "BERT4Rec") {
+    return std::make_unique<Bert4Rec>(num_items, num_operations, config);
+  }
+  if (name == "SGNN-HN") {
+    return std::make_unique<SgnnHn>(num_items, num_operations, config);
+  }
+  if (name == "RIB") {
+    return std::make_unique<Rib>(num_items, num_operations, config);
+  }
+  if (name == "HUP") {
+    return std::make_unique<Hup>(num_items, num_operations, config);
+  }
+  if (name == "MKM-SR") {
+    return std::make_unique<MkmSr>(num_items, num_operations, config);
+  }
+  if (name == "GRU4Rec") {
+    return std::make_unique<Gru4Rec>(num_items, num_operations, config);
+  }
+  if (name == "FPMC") {
+    return std::make_unique<Fpmc>(num_items, num_operations, config);
+  }
+  if (name == "STAN") return std::make_unique<Stan>(num_items);
+  auto make_variant = [&](const EmbsrConfig& vc) {
+    return std::make_unique<EmbsrModel>(name, num_items, num_operations,
+                                        config, vc);
+  };
+  if (name == "EMBSR") return make_variant(EmbsrVariants::Full());
+  if (name == "EMBSR-NS") return make_variant(EmbsrVariants::NoSelfAttention());
+  if (name == "EMBSR-NG") return make_variant(EmbsrVariants::NoGnn());
+  if (name == "EMBSR-NF") return make_variant(EmbsrVariants::NoFusionGate());
+  if (name == "SGNN-Self") return make_variant(EmbsrVariants::SgnnSelf());
+  if (name == "SGNN-Seq-Self") {
+    return make_variant(EmbsrVariants::SgnnSeqSelf());
+  }
+  if (name == "RNN-Self") return make_variant(EmbsrVariants::RnnSelf());
+  if (name == "SGNN-Abs-Self") {
+    return make_variant(EmbsrVariants::SgnnAbsSelf());
+  }
+  if (name == "SGNN-Dyadic") return make_variant(EmbsrVariants::SgnnDyadic());
+  if (name == "EMBSR-W") return make_variant(EmbsrVariants::WeightedOps());
+  return nullptr;
+}
+
+std::vector<std::string> Table3ModelNames() {
+  return {"S-POP", "SKNN",     "NARM", "STAMP", "SR-GNN", "GC-SAN",
+          "BERT4Rec", "SGNN-HN", "RIB",  "HUP",   "MKM-SR", "EMBSR"};
+}
+
+std::vector<std::string> MacroModelNames() {
+  return {"S-POP", "SKNN",     "NARM",   "STAMP",
+          "SR-GNN", "GC-SAN", "BERT4Rec", "SGNN-HN"};
+}
+
+}  // namespace embsr

@@ -1,0 +1,66 @@
+#ifndef EMBSR_UTIL_CHECK_H_
+#define EMBSR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal-invariant assertions. These are *not* for validating user input
+/// (return Status for that); they guard programmer errors inside the library
+/// and abort with a diagnostic when violated. They stay on in release builds
+/// because a silently corrupt tensor shape is worse than a crash.
+
+#define EMBSR_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define EMBSR_CHECK_MSG(cond, ...)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s: ", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define EMBSR_CHECK_EQ(a, b) EMBSR_CHECK((a) == (b))
+#define EMBSR_CHECK_NE(a, b) EMBSR_CHECK((a) != (b))
+#define EMBSR_CHECK_LT(a, b) EMBSR_CHECK((a) < (b))
+#define EMBSR_CHECK_LE(a, b) EMBSR_CHECK((a) <= (b))
+#define EMBSR_CHECK_GT(a, b) EMBSR_CHECK((a) > (b))
+#define EMBSR_CHECK_GE(a, b) EMBSR_CHECK((a) >= (b))
+
+namespace embsr::internal_check {
+
+/// Extracts a Status (by value — the argument may be a temporary whose
+/// lifetime ends with the enclosing statement) from a Status or Result<T>.
+template <typename T>
+auto AsStatus(const T& status_or_result) {
+  if constexpr (requires { status_or_result.status(); }) {
+    return status_or_result.status();
+  } else {
+    return status_or_result;
+  }
+}
+
+}  // namespace embsr::internal_check
+
+/// Checks that an embsr::Status (or Result) is OK.
+#define EMBSR_CHECK_OK(expr)                                                 \
+  do {                                                                       \
+    const auto embsr_check_ok_status =                                       \
+        ::embsr::internal_check::AsStatus((expr));                           \
+    if (!embsr_check_ok_status.ok()) {                                       \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, embsr_check_ok_status.ToString().c_str());      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // EMBSR_UTIL_CHECK_H_

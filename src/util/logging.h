@@ -1,0 +1,41 @@
+#ifndef EMBSR_UTIL_LOGGING_H_
+#define EMBSR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace embsr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink: collects the message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace embsr
+
+#define EMBSR_LOG(level)                                                  \
+  ::embsr::internal_logging::LogMessage(::embsr::LogLevel::k##level,     \
+                                        __FILE__, __LINE__)              \
+      .stream()
+
+#endif  // EMBSR_UTIL_LOGGING_H_

@@ -1,0 +1,67 @@
+#ifndef EMBSR_UTIL_RNG_H_
+#define EMBSR_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace embsr {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// splitmix64). One instance per logical stream; never shared across threads.
+/// All experiments in this repo are seeded, so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit word.
+  uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// Weights must be non-negative and not all zero.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Geometric-ish sample: number of successes before failure, capped.
+  int GeometricCapped(double continue_prob, int cap);
+
+  /// In-place Fisher-Yates shuffle of indices.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Builds Zipf-distributed weights: weight[i] ~ 1 / (i+1)^alpha.
+std::vector<double> ZipfWeights(size_t n, double alpha);
+
+}  // namespace embsr
+
+#endif  // EMBSR_UTIL_RNG_H_

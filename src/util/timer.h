@@ -1,0 +1,29 @@
+#ifndef EMBSR_UTIL_TIMER_H_
+#define EMBSR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace embsr {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace embsr
+
+#endif  // EMBSR_UTIL_TIMER_H_

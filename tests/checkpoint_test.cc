@@ -1,0 +1,119 @@
+#include "nn/checkpoint.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/embsr_model.h"
+#include "nn/layers.h"
+
+namespace embsr {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CheckpointTest, RoundTripRestoresExactWeights) {
+  Rng rng(1);
+  nn::FeedForward a(8, 16, &rng);
+  nn::FeedForward b(8, 16, &rng);  // different init
+  const std::string path = TempPath("ffn.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(a, path).ok());
+  ASSERT_TRUE(nn::LoadCheckpoint(path, &b).ok());
+
+  const auto pa = a.NamedParameters();
+  const auto pb = b.NamedParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].variable.value().AllClose(pb[i].variable.value(), 0.0f))
+        << pa[i].name;
+  }
+}
+
+TEST(CheckpointTest, FullEmbsrModelRoundTripPreservesScores) {
+  TrainConfig cfg;
+  cfg.embedding_dim = 16;
+  EmbsrModel a("EMBSR", 30, 10, cfg);
+  TrainConfig cfg2 = cfg;
+  cfg2.seed = 12345;  // different init
+  EmbsrModel b("EMBSR", 30, 10, cfg2);
+  a.SetTraining(false);
+  b.SetTraining(false);
+
+  Example ex;
+  ex.macro_items = {1, 2, 3};
+  ex.macro_ops = {{0}, {0, 4}, {0}};
+  ex.flat_items = {1, 2, 2, 3};
+  ex.flat_ops = {0, 0, 4, 0};
+  ex.target = 5;
+
+  ASSERT_NE(a.ScoreAll(ex), b.ScoreAll(ex));
+  const std::string path = TempPath("embsr.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(a, path).ok());
+  ASSERT_TRUE(nn::LoadCheckpoint(path, &b).ok());
+  EXPECT_EQ(a.ScoreAll(ex), b.ScoreAll(ex));
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  Rng rng(2);
+  nn::Linear lin(2, 2, &rng);
+  Status s = nn::LoadCheckpoint(TempPath("nope.ckpt"), &lin);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, RejectsArchitectureMismatch) {
+  Rng rng(3);
+  nn::Linear small(2, 2, &rng);
+  nn::Linear big(4, 4, &rng);
+  const std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(small, path).ok());
+  Status s = nn::LoadCheckpoint(path, &big);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, RejectsDifferentModuleShape) {
+  Rng rng(4);
+  nn::Linear lin(3, 3, &rng);
+  nn::FeedForward ffn(3, 3, &rng);  // more parameters
+  const std::string path = TempPath("count.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(lin, path).ok());
+  EXPECT_FALSE(nn::LoadCheckpoint(path, &ffn).ok());
+}
+
+TEST(CheckpointTest, RejectsGarbageFile) {
+  Rng rng(5);
+  nn::Linear lin(2, 2, &rng);
+  const std::string path = TempPath("garbage.ckpt");
+  std::ofstream(path) << "this is not a checkpoint";
+  Status s = nn::LoadCheckpoint(path, &lin);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, RejectsTruncatedFile) {
+  Rng rng(6);
+  nn::FeedForward ffn(8, 8, &rng);
+  const std::string path = TempPath("truncated.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(ffn, path).ok());
+  // Chop the file in half.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::string data(static_cast<size_t>(size) / 2, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(data.size()));
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << data;
+  EXPECT_FALSE(nn::LoadCheckpoint(path, &ffn).ok());
+}
+
+TEST(CheckpointTest, NullModuleIsInvalidArgument) {
+  Status s = nn::LoadCheckpoint(TempPath("x.ckpt"), nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace embsr

@@ -1,0 +1,129 @@
+#include "models/components.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace embsr {
+namespace {
+
+using ag::Variable;
+using embsr::testing::AllFinite;
+using embsr::testing::CheckGradients;
+
+TEST(GgnnLayerTest, PreservesShape) {
+  Rng rng(1);
+  GgnnLayer layer(8, &rng);
+  auto adj = BuildSrgnnAdjacency({1, 2, 3, 2});
+  Variable h(Tensor::Randn({3, 8}, 0.5f, &rng), false);
+  Variable out = layer.Forward(h, adj.a_in, adj.a_out);
+  EXPECT_EQ(out.value().dim(0), 3);
+  EXPECT_EQ(out.value().dim(1), 8);
+  EXPECT_TRUE(AllFinite(out.value()));
+}
+
+TEST(GgnnLayerTest, IsolatedNodeStillUpdates) {
+  // A single-node graph has empty adjacency; the gate should blend the
+  // node's own state with the candidate, producing a finite result.
+  Rng rng(2);
+  GgnnLayer layer(4, &rng);
+  auto adj = BuildSrgnnAdjacency({7});
+  Variable h(Tensor::Randn({1, 4}, 1.0f, &rng), false);
+  Variable out = layer.Forward(h, adj.a_in, adj.a_out);
+  EXPECT_TRUE(AllFinite(out.value()));
+}
+
+TEST(GgnnLayerTest, GradientsFlowToInput) {
+  Rng rng(3);
+  GgnnLayer layer(4, &rng);
+  auto adj = BuildSrgnnAdjacency({1, 2, 1});
+  Variable h(Tensor::Randn({2, 4}, 0.5f, &rng), true);
+  CheckGradients(
+      [&](const std::vector<Variable>& v) {
+        Variable out = layer.Forward(v[0], adj.a_in, adj.a_out);
+        return ag::SumAll(ag::Mul(out, out));
+      },
+      {h});
+}
+
+TEST(SoftAttentionReadoutTest, ProducesSessionVector) {
+  Rng rng(4);
+  SoftAttentionReadout readout(6, &rng);
+  Variable seq(Tensor::Randn({5, 6}, 0.7f, &rng), false);
+  Variable rep = readout.Forward(seq);
+  EXPECT_EQ(rep.value().dim(0), 1);
+  EXPECT_EQ(rep.value().dim(1), 6);
+}
+
+TEST(SoftAttentionReadoutTest, DependsOnLastItem) {
+  Rng rng(5);
+  SoftAttentionReadout readout(6, &rng);
+  Rng data_rng(6);
+  Tensor base = Tensor::Randn({4, 6}, 0.7f, &data_rng);
+  Tensor swapped = base;
+  // Swap first and last rows: the readout keys on the last item, so the
+  // output must change.
+  for (int j = 0; j < 6; ++j) {
+    std::swap(swapped.at2(0, j), swapped.at2(3, j));
+  }
+  Variable a = readout.Forward(Variable(base, false));
+  Variable b = readout.Forward(Variable(swapped, false));
+  EXPECT_FALSE(a.value().AllClose(b.value(), 1e-6f));
+}
+
+TEST(SelfAttentionBlockTest, ShapePreservedAndFinite) {
+  Rng rng(7);
+  SelfAttentionBlock block(8, &rng, 0.0f);
+  Variable x(Tensor::Randn({5, 8}, 0.5f, &rng), false);
+  Tensor mask = Tensor::Ones({5, 5});
+  Variable out = block.Forward(x, mask, /*training=*/false, &rng);
+  EXPECT_EQ(out.value().dim(0), 5);
+  EXPECT_EQ(out.value().dim(1), 8);
+  EXPECT_TRUE(AllFinite(out.value()));
+}
+
+TEST(SelfAttentionBlockTest, MaskBlocksInformationFlow) {
+  Rng rng(8);
+  SelfAttentionBlock block(8, &rng, 0.0f);
+  Rng data_rng(9);
+  Tensor a = Tensor::Randn({3, 8}, 0.5f, &data_rng);
+  Tensor b = a;
+  // Perturb row 2 only.
+  for (int j = 0; j < 8; ++j) b.at2(2, j) += 1.0f;
+
+  // Causal-style mask where position 0 sees only itself: its output row
+  // must be identical regardless of row 2's contents.
+  Tensor mask = Tensor::Zeros({3, 3});
+  mask.at2(0, 0) = 1.0f;
+  for (int j = 0; j < 3; ++j) {
+    mask.at2(1, j) = 1.0f;
+    mask.at2(2, j) = 1.0f;
+  }
+  Variable oa = block.Forward(Variable(a, false), mask, false, &rng);
+  Variable ob = block.Forward(Variable(b, false), mask, false, &rng);
+  EXPECT_TRUE(oa.value().Row(0).AllClose(ob.value().Row(0), 1e-5f));
+  EXPECT_FALSE(oa.value().Row(2).AllClose(ob.value().Row(2), 1e-5f));
+}
+
+TEST(SelfAttentionBlockTest, GradCheck) {
+  Rng rng(10);
+  SelfAttentionBlock block(4, &rng, 0.0f);
+  Variable x(Tensor::Randn({3, 4}, 0.5f, &rng), true);
+  Tensor mask = Tensor::Ones({3, 3});
+  CheckGradients(
+      [&](const std::vector<Variable>& v) {
+        Variable out = block.Forward(v[0], mask, false, &rng);
+        return ag::SumAll(ag::Mul(out, out));
+      },
+      {x}, 1e-3f, 5e-2f);
+}
+
+TEST(ClampPositionTest, ClampsAtTableEnd) {
+  EXPECT_EQ(ClampPosition(0, 10), 0);
+  EXPECT_EQ(ClampPosition(9, 10), 9);
+  EXPECT_EQ(ClampPosition(10, 10), 9);
+  EXPECT_EQ(ClampPosition(1000, 10), 9);
+}
+
+}  // namespace
+}  // namespace embsr

@@ -1,0 +1,107 @@
+#include "graph/session_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace embsr {
+namespace {
+
+TEST(SessionMultigraphTest, PaperFigure3Construction) {
+  // S^v = {v1, v2, v3, v2, v3, v4} (Fig. 3, second construction).
+  const std::vector<int64_t> seq = {1, 2, 3, 2, 3, 4};
+  auto g = SessionMultigraph::Build(seq);
+  EXPECT_EQ(g.num_nodes(), 4);  // distinct: v1 v2 v3 v4
+  EXPECT_EQ(g.num_edges(), 5);  // one edge per transition, multi-edges kept
+  EXPECT_EQ(g.nodes(), (std::vector<int64_t>{1, 2, 3, 4}));
+  // alias maps positions to node ids.
+  EXPECT_EQ(g.alias(), (std::vector<int>{0, 1, 2, 1, 2, 3}));
+}
+
+TEST(SessionMultigraphTest, EdgesPreserveOrderAttribute) {
+  auto g = SessionMultigraph::Build({1, 2, 3, 2, 3, 4});
+  for (int e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g.edges()[e].order, e);  // chronological edge ids
+  }
+  // The two v2->v3 transitions are distinct edges with different orders.
+  const auto& e1 = g.edges()[1];  // v2 -> v3 at position 1
+  const auto& e4 = g.edges()[4];  // v3 -> v4 at position 4... check e3
+  EXPECT_EQ(e1.src, 1);
+  EXPECT_EQ(e1.dst, 2);
+  const auto& e3 = g.edges()[3];  // second v2 -> v3 at position 3
+  EXPECT_EQ(e3.src, 1);
+  EXPECT_EQ(e3.dst, 2);
+  EXPECT_NE(e1.order, e3.order);
+  EXPECT_EQ(e4.src, 2);
+  EXPECT_EQ(e4.dst, 3);
+}
+
+TEST(SessionMultigraphTest, InOutEdgeLists) {
+  auto g = SessionMultigraph::Build({1, 2, 3, 2, 3, 4});
+  // Node 2 (= item v3) has two incoming edges (both from v2) and two
+  // outgoing (to v2 and to v4).
+  EXPECT_EQ(g.in_edges(2).size(), 2u);
+  EXPECT_EQ(g.out_edges(2).size(), 2u);
+  // Node 0 (= v1) has no incoming, one outgoing.
+  EXPECT_TRUE(g.in_edges(0).empty());
+  EXPECT_EQ(g.out_edges(0).size(), 1u);
+  // Node 3 (= v4) terminal.
+  EXPECT_EQ(g.in_edges(3).size(), 1u);
+  EXPECT_TRUE(g.out_edges(3).empty());
+}
+
+TEST(SessionMultigraphTest, SingleItemSession) {
+  auto g = SessionMultigraph::Build({7});
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.alias(), (std::vector<int>{0}));
+}
+
+TEST(SessionMultigraphTest, RepeatedItemIsOneNode) {
+  auto g = SessionMultigraph::Build({5, 9, 5, 9, 5});
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.num_edges(), 4);
+  // Self-transitions never occur (successive duplicates are merged
+  // upstream), but a cycle 5->9->5 is fine.
+  for (const auto& e : g.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(SrgnnAdjacencyTest, RowNormalization) {
+  auto adj = BuildSrgnnAdjacency({1, 2, 3, 2, 3, 4});
+  const int64_t n = static_cast<int64_t>(adj.nodes.size());
+  ASSERT_EQ(n, 4);
+  for (int64_t i = 0; i < n; ++i) {
+    float out_sum = 0.0f, in_sum = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      out_sum += adj.a_out.at2(i, j);
+      in_sum += adj.a_in.at2(i, j);
+      EXPECT_GE(adj.a_out.at2(i, j), 0.0f);
+      EXPECT_GE(adj.a_in.at2(i, j), 0.0f);
+    }
+    // Rows with any outgoing/incoming edges sum to 1; others to 0.
+    EXPECT_TRUE(std::abs(out_sum - 1.0f) < 1e-5 || out_sum == 0.0f);
+    EXPECT_TRUE(std::abs(in_sum - 1.0f) < 1e-5 || in_sum == 0.0f);
+  }
+}
+
+TEST(SrgnnAdjacencyTest, CollapsesMultiEdges) {
+  // v2 -> v3 occurs twice; the collapsed graph weights, it does not
+  // duplicate: out row of v2 has v3 at 2/3 and v... wait: v2's outgoing
+  // transitions are v3 (twice). From seq {1,2,3,2,3,4}: v2 -> v3 twice,
+  // so out(v2) = {v3: 1.0}.
+  auto adj = BuildSrgnnAdjacency({1, 2, 3, 2, 3, 4});
+  const int v2 = 1, v3 = 2, v4 = 3;
+  EXPECT_FLOAT_EQ(adj.a_out.at2(v2, v3), 1.0f);
+  // v3's outgoing: to v2 once, to v4 once -> 0.5 each.
+  EXPECT_FLOAT_EQ(adj.a_out.at2(v3, v2), 0.5f);
+  EXPECT_FLOAT_EQ(adj.a_out.at2(v3, v4), 0.5f);
+}
+
+TEST(SrgnnAdjacencyTest, AliasMatchesMultigraph) {
+  const std::vector<int64_t> seq = {4, 2, 4, 7};
+  auto adj = BuildSrgnnAdjacency(seq);
+  auto g = SessionMultigraph::Build(seq);
+  EXPECT_EQ(adj.alias, g.alias());
+  EXPECT_EQ(adj.nodes, g.nodes());
+}
+
+}  // namespace
+}  // namespace embsr

@@ -1,0 +1,93 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace embsr {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SessionCsvTest, RoundTrip) {
+  std::vector<Session> sessions(2);
+  sessions[0].events = {{1, 0}, {1, 2}, {5, 0}};
+  sessions[1].events = {{7, 1}};
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteSessionsCsv(sessions, path).ok());
+
+  auto loaded = ReadSessionsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].events, sessions[0].events);
+  EXPECT_EQ(loaded.value()[1].events, sessions[1].events);
+}
+
+TEST(SessionCsvTest, RoundTripGeneratedDataset) {
+  const auto sessions = GenerateSessions(TrivagoConfig(0.02));
+  const std::string path = TempPath("generated.csv");
+  ASSERT_TRUE(WriteSessionsCsv(sessions, path).ok());
+  auto loaded = ReadSessionsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), sessions.size());
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].events, sessions[i].events) << "session " << i;
+  }
+}
+
+TEST(SessionCsvTest, MissingFileIsNotFound) {
+  auto r = ReadSessionsCsv(TempPath("does_not_exist.csv"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionCsvTest, RejectsBadHeader) {
+  const std::string path = TempPath("bad_header.csv");
+  std::ofstream(path) << "item,op\n1,2\n";
+  auto r = ReadSessionsCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionCsvTest, RejectsMalformedRow) {
+  const std::string path = TempPath("malformed.csv");
+  std::ofstream(path) << "session_id,item_id,operation_id\n0,1\n";
+  EXPECT_FALSE(ReadSessionsCsv(path).ok());
+}
+
+TEST(SessionCsvTest, RejectsNonNumericField) {
+  const std::string path = TempPath("non_numeric.csv");
+  std::ofstream(path) << "session_id,item_id,operation_id\n0,abc,1\n";
+  EXPECT_FALSE(ReadSessionsCsv(path).ok());
+}
+
+TEST(SessionCsvTest, RejectsNegativeIds) {
+  const std::string path = TempPath("negative.csv");
+  std::ofstream(path) << "session_id,item_id,operation_id\n0,-5,1\n";
+  EXPECT_FALSE(ReadSessionsCsv(path).ok());
+}
+
+TEST(SessionCsvTest, RejectsDecreasingSessionIds) {
+  const std::string path = TempPath("decreasing.csv");
+  std::ofstream(path) << "session_id,item_id,operation_id\n"
+                      << "1,1,0\n0,2,0\n";
+  EXPECT_FALSE(ReadSessionsCsv(path).ok());
+}
+
+TEST(SessionCsvTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  std::ofstream(path) << "session_id,item_id,operation_id\n"
+                      << "0,1,0\n\n0,2,1\n";
+  auto r = ReadSessionsCsv(path);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].events.size(), 2u);
+}
+
+}  // namespace
+}  // namespace embsr

@@ -1,0 +1,216 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "metrics/metrics.h"
+#include "util/check.h"
+#include "models/baselines_nonneural.h"
+#include "test_util.h"
+#include "train/model_zoo.h"
+
+namespace embsr {
+namespace {
+
+using embsr::testing::AllFinite;
+
+/// A tiny shared dataset so the fixture builds it once for all tests.
+const ProcessedDataset& TinyDataset() {
+  static const ProcessedDataset* dataset = [] {
+    GeneratorConfig cfg = JdAppliancesConfig(0.02);  // ~200 sessions floor
+    auto r = MakeDataset(cfg);
+    EMBSR_CHECK_OK(r);
+    return new ProcessedDataset(std::move(r).value());
+  }();
+  return *dataset;
+}
+
+TrainConfig TinyTrainConfig() {
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 32;
+  cfg.embedding_dim = 16;
+  cfg.max_train_examples = 60;
+  cfg.validate_every = 0;
+  return cfg;
+}
+
+// -- S-POP ----------------------------------------------------------------------
+
+TEST(SPopTest, SessionItemsOutrankGlobalPopularity) {
+  SPop model(10);
+  ProcessedDataset data;
+  data.name = "toy";
+  data.num_items = 10;
+  data.num_operations = 2;
+  Example a;
+  a.macro_items = {1, 1, 1, 2};  // item 1 globally popular
+  a.target = 3;
+  data.train = {a};
+  ASSERT_TRUE(model.Fit(data).ok());
+
+  Example query;
+  query.macro_items = {7, 7, 2};
+  auto scores = model.ScoreAll(query);
+  // Item 7 appears twice in the session: best.
+  EXPECT_EQ(std::max_element(scores.begin(), scores.end()) - scores.begin(),
+            7);
+  // Session item 2 outranks globally-popular-but-absent item 1.
+  EXPECT_GT(scores[2], scores[1]);
+  // Global popularity breaks ties among absent items.
+  EXPECT_GT(scores[1], scores[4]);
+}
+
+TEST(SPopTest, FailsOnTrivagoStyleSessions) {
+  // When the target never appears in the session, S-POP's top picks are
+  // session items, and its H@K collapses — the paper's Trivago row.
+  auto result = MakeDataset(TrivagoConfig(0.05));
+  ASSERT_TRUE(result.ok());
+  const auto& data = result.value();
+  SPop model(data.num_items);
+  ASSERT_TRUE(model.Fit(data).ok());
+  int hits_at_5 = 0;
+  int n = std::min<int>(100, data.test.size());
+  for (int i = 0; i < n; ++i) {
+    auto scores = model.ScoreAll(data.test[i]);
+    if (RankOfTarget(scores, data.test[i].target) <= 5) ++hits_at_5;
+  }
+  EXPECT_LT(hits_at_5, 2 + n / 10);
+}
+
+// -- SKNN ----------------------------------------------------------------------
+
+TEST(SknnTest, RecommendsItemsFromSimilarSessions) {
+  Sknn model(10, /*k=*/5);
+  ProcessedDataset data;
+  data.num_items = 10;
+  data.num_operations = 1;
+  Example a;
+  a.macro_items = {1, 2};
+  a.target = 3;  // sessions with {1,2} end in 3
+  Example b;
+  b.macro_items = {1, 2};
+  b.target = 3;
+  Example c;
+  c.macro_items = {7, 8};
+  c.target = 9;
+  data.train = {a, b, c};
+  ASSERT_TRUE(model.Fit(data).ok());
+
+  Example query;
+  query.macro_items = {1, 2};
+  auto scores = model.ScoreAll(query);
+  EXPECT_GT(scores[3], scores[9]);
+  EXPECT_GT(scores[3], 0.0f);
+}
+
+TEST(SknnTest, EmptySessionScoresZero) {
+  Sknn model(5);
+  ProcessedDataset data;
+  data.num_items = 5;
+  data.num_operations = 1;
+  Example a;
+  a.macro_items = {0};
+  a.target = 1;
+  data.train = {a};
+  ASSERT_TRUE(model.Fit(data).ok());
+  Example query;  // no items
+  auto scores = model.ScoreAll(query);
+  for (float s : scores) EXPECT_FLOAT_EQ(s, 0.0f);
+}
+
+// -- Shared invariants across every model in the zoo -------------------------------
+
+class ModelZooTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelZooTest,
+    ::testing::Values("S-POP", "SKNN", "NARM", "STAMP", "SR-GNN", "GC-SAN",
+                      "BERT4Rec", "SGNN-HN", "RIB", "HUP", "MKM-SR", "EMBSR",
+                      "EMBSR-NS", "EMBSR-NG", "EMBSR-NF", "SGNN-Self",
+                      "SGNN-Seq-Self", "RNN-Self", "SGNN-Abs-Self",
+                      "SGNN-Dyadic", "EMBSR-W", "GRU4Rec", "FPMC", "STAN"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string n = info.param;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST_P(ModelZooTest, FitsAndProducesValidScores) {
+  const auto& data = TinyDataset();
+  auto model = CreateModel(GetParam(), data.num_items, data.num_operations,
+                           TinyTrainConfig());
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name(), GetParam());
+  ASSERT_TRUE(model->Fit(data).ok());
+  for (int i = 0; i < 3; ++i) {
+    const auto scores = model->ScoreAll(data.test[i]);
+    ASSERT_EQ(scores.size(), static_cast<size_t>(data.num_items));
+    for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+    // Scores must discriminate (not all equal).
+    EXPECT_NE(*std::max_element(scores.begin(), scores.end()),
+              *std::min_element(scores.begin(), scores.end()));
+  }
+}
+
+TEST_P(ModelZooTest, ScoringIsDeterministicInEvalMode) {
+  const auto& data = TinyDataset();
+  auto model = CreateModel(GetParam(), data.num_items, data.num_operations,
+                           TinyTrainConfig());
+  ASSERT_TRUE(model->Fit(data).ok());
+  const auto s1 = model->ScoreAll(data.test[0]);
+  const auto s2 = model->ScoreAll(data.test[0]);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(ModelZooTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(CreateModel("NOPE", 10, 2, TinyTrainConfig()), nullptr);
+}
+
+TEST(ModelZooTest, Table3ListsTwelveModels) {
+  EXPECT_EQ(Table3ModelNames().size(), 12u);
+  EXPECT_EQ(Table3ModelNames().back(), "EMBSR");
+  for (const auto& name : Table3ModelNames()) {
+    EXPECT_NE(CreateModel(name, 10, 2, TinyTrainConfig()), nullptr) << name;
+  }
+}
+
+// -- Learning sanity: neural models actually reduce loss -----------------------------
+
+class LearningTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Representatives, LearningTest,
+                         ::testing::Values("NARM", "SR-GNN", "MKM-SR",
+                                           "SGNN-HN", "EMBSR"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(LearningTest, BeatsRandomRankingAfterTraining) {
+  const auto& data = TinyDataset();
+  TrainConfig cfg = TinyTrainConfig();
+  cfg.epochs = 8;
+  cfg.max_train_examples = 0;  // all ~200 examples of the tiny dataset
+  auto model = CreateModel(GetParam(), data.num_items, data.num_operations,
+                           cfg);
+  ASSERT_TRUE(model->Fit(data).ok());
+  RankAccumulator acc;
+  const int n = std::min<int>(60, data.test.size());
+  for (int i = 0; i < n; ++i) {
+    acc.Add(RankOfTarget(model->ScoreAll(data.test[i]), data.test[i].target));
+  }
+  // Random ranking over |V| items gives H@20 = 100 * 20/|V|.
+  const double random_h20 = 100.0 * 20.0 / data.num_items;
+  EXPECT_GT(acc.HitAt(20), 1.5 * random_h20)
+      << "model failed to learn anything useful";
+}
+
+}  // namespace
+}  // namespace embsr

@@ -1,0 +1,177 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace embsr {
+namespace {
+
+using ag::Variable;
+using embsr::testing::AllFinite;
+using embsr::testing::CheckGradients;
+
+TEST(ModuleTest, ParameterRegistryIsRecursive) {
+  Rng rng(1);
+  nn::FeedForward ffn(8, 16, &rng);
+  auto named = ffn.NamedParameters();
+  // fc1 weight+bias, fc2 weight+bias.
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].name, "fc1.weight");
+  EXPECT_EQ(named[3].name, "fc2.bias");
+  EXPECT_EQ(ffn.ParameterCount(), 8 * 16 + 16 + 16 * 8 + 8);
+}
+
+TEST(ModuleTest, TrainingModePropagates) {
+  Rng rng(2);
+  nn::FeedForward ffn(4, 4, &rng);
+  EXPECT_TRUE(ffn.training());
+  ffn.SetTraining(false);
+  EXPECT_FALSE(ffn.training());
+}
+
+TEST(ModuleTest, ZeroGradClearsAllParameters) {
+  Rng rng(3);
+  nn::Linear lin(3, 3, &rng);
+  Variable x(Tensor::Ones({2, 3}), false);
+  ag::SumAll(lin.Forward(x)).Backward();
+  bool any = false;
+  for (auto& p : lin.Parameters()) any = any || p.has_grad();
+  EXPECT_TRUE(any);
+  lin.ZeroGrad();
+  for (auto& p : lin.Parameters()) EXPECT_FALSE(p.has_grad());
+}
+
+TEST(LinearTest, ShapeAndBias) {
+  Rng rng(4);
+  nn::Linear lin(3, 5, &rng);
+  Variable x(Tensor::Zeros({2, 3}), false);
+  Variable y = lin.Forward(x);
+  EXPECT_EQ(y.value().dim(0), 2);
+  EXPECT_EQ(y.value().dim(1), 5);
+  // With zero input, output equals the bias on each row.
+  EXPECT_TRUE(y.value().Row(0).AllClose(y.value().Row(1)));
+}
+
+TEST(LinearTest, NoBiasMapsZeroToZero) {
+  Rng rng(5);
+  nn::Linear lin(3, 4, &rng, /*bias=*/false);
+  Variable x(Tensor::Zeros({1, 3}), false);
+  EXPECT_TRUE(lin.Forward(x).value().AllClose(Tensor::Zeros({1, 4})));
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  Rng rng(6);
+  nn::Linear lin(3, 2, &rng);
+  auto params = lin.Parameters();
+  Variable x(Tensor::Randn({2, 3}, 0.5f, &rng), true);
+  std::vector<Variable> leaves = {x, params[0], params[1]};
+  CheckGradients(
+      [&lin](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Mul(lin.Forward(v[0]), lin.Forward(v[0])));
+      },
+      leaves);
+}
+
+TEST(EmbeddingTest, LookupMatchesTable) {
+  Rng rng(7);
+  nn::Embedding emb(10, 4, &rng);
+  Variable rows = emb.Forward({3, 3, 7});
+  EXPECT_EQ(rows.value().dim(0), 3);
+  EXPECT_TRUE(rows.value().Row(0).AllClose(rows.value().Row(1)));
+  EXPECT_TRUE(
+      rows.value().Row(2).AllClose(emb.table().value().Row(7)));
+}
+
+TEST(EmbeddingTest, GradientFlowsOnlyToUsedRows) {
+  Rng rng(8);
+  nn::Embedding emb(5, 3, &rng);
+  ag::SumAll(emb.Forward({1, 1})).Backward();
+  const Tensor g = emb.table().GradOrZeros();
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(g.at2(0, j), 0.0f);
+    EXPECT_FLOAT_EQ(g.at2(1, j), 2.0f);  // used twice
+    EXPECT_FLOAT_EQ(g.at2(4, j), 0.0f);
+  }
+}
+
+TEST(GruTest, OutputShapesAndDeterminism) {
+  Rng rng(9);
+  nn::GRU gru(4, 6, &rng);
+  Rng data_rng(10);
+  Variable xs(Tensor::Randn({5, 4}, 1.0f, &data_rng), false);
+  Variable h = gru.Forward(xs);
+  EXPECT_EQ(h.value().dim(0), 5);
+  EXPECT_EQ(h.value().dim(1), 6);
+  Variable last = gru.ForwardLast(xs);
+  EXPECT_TRUE(last.value().AllClose(h.value().SliceRows(4, 5)));
+  // Same inputs -> same outputs (pure function).
+  EXPECT_TRUE(gru.Forward(xs).value().AllClose(h.value()));
+}
+
+TEST(GruTest, HiddenStateIsBounded) {
+  // GRU hidden states are convex mixes of tanh outputs: within (-1, 1).
+  Rng rng(11);
+  nn::GRU gru(3, 4, &rng);
+  Rng data_rng(12);
+  Variable xs(Tensor::Randn({20, 3}, 5.0f, &data_rng), false);
+  Variable h = gru.Forward(xs);
+  for (int64_t i = 0; i < h.value().size(); ++i) {
+    EXPECT_GT(h.value().at(i), -1.0f);
+    EXPECT_LT(h.value().at(i), 1.0f);
+  }
+}
+
+TEST(GruTest, GradCheckThroughTime) {
+  Rng rng(13);
+  nn::GRUCell cell(3, 3, &rng);
+  Rng data_rng(14);
+  Variable x1(Tensor::Randn({1, 3}, 0.5f, &data_rng), true);
+  Variable x2(Tensor::Randn({1, 3}, 0.5f, &data_rng), true);
+  CheckGradients(
+      [&cell](const std::vector<Variable>& v) {
+        Variable h0 = ag::Constant(Tensor::Zeros({1, 3}));
+        Variable h1 = cell.Forward(v[0], h0);
+        Variable h2 = cell.Forward(v[1], h1);
+        return ag::SumAll(ag::Mul(h2, h2));
+      },
+      {x1, x2});
+}
+
+TEST(GruTest, SequenceOrderMatters) {
+  Rng rng(15);
+  nn::GRU gru(2, 4, &rng);
+  Tensor a({2, 2}, {1, 0, 0, 1});
+  Tensor b({2, 2}, {0, 1, 1, 0});
+  Variable ha = gru.ForwardLast(Variable(a, false));
+  Variable hb = gru.ForwardLast(Variable(b, false));
+  EXPECT_FALSE(ha.value().AllClose(hb.value(), 1e-6f));
+}
+
+TEST(LayerNormTest, AffineIdentityAtInit) {
+  nn::LayerNorm ln(8);
+  Rng rng(16);
+  Variable x(Tensor::Randn({3, 8}, 2.0f, &rng), false);
+  Variable y = ln.Forward(x);
+  // gamma=1, beta=0 at init: output is the normalized input.
+  Variable expected = ag::LayerNormRows(x);
+  EXPECT_TRUE(y.value().AllClose(expected.value(), 1e-5f));
+}
+
+TEST(FeedForwardTest, FiniteAndShaped) {
+  Rng rng(17);
+  nn::FeedForward ffn(6, 12, &rng);
+  Variable x(Tensor::Randn({4, 6}, 1.0f, &rng), false);
+  Variable y = ffn.Forward(x);
+  EXPECT_EQ(y.value().dim(0), 4);
+  EXPECT_EQ(y.value().dim(1), 6);
+  EXPECT_TRUE(AllFinite(y.value()));
+}
+
+TEST(InitTest, BoundMatchesRule) {
+  EXPECT_FLOAT_EQ(nn::InitBound(100), 0.1f);
+  EXPECT_FLOAT_EQ(nn::InitBound(4), 0.5f);
+}
+
+}  // namespace
+}  // namespace embsr

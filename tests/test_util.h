@@ -1,0 +1,60 @@
+#ifndef EMBSR_TESTS_TEST_UTIL_H_
+#define EMBSR_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace embsr {
+namespace testing {
+
+/// Numerically checks d(f(x))/dx against the autograd gradient.
+///
+/// `make_loss` must build a *scalar* Variable from the given leaf variables
+/// (re-invoked per perturbation, so it must be a pure function of them).
+/// Central differences with step `eps`; asserts max abs error <= tol.
+inline void CheckGradients(
+    const std::function<ag::Variable(const std::vector<ag::Variable>&)>&
+        make_loss,
+    std::vector<ag::Variable> leaves, float eps = 1e-3f, float tol = 2e-2f) {
+  // Analytic gradients.
+  for (auto& leaf : leaves) leaf.ZeroGrad();
+  ag::Variable loss = make_loss(leaves);
+  ASSERT_EQ(loss.value().size(), 1) << "loss must be scalar";
+  loss.Backward();
+
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    ag::Variable& leaf = leaves[li];
+    if (!leaf.requires_grad()) continue;
+    const Tensor analytic = leaf.GradOrZeros();
+    for (int64_t i = 0; i < leaf.value().size(); ++i) {
+      const float orig = leaf.value().at(i);
+      leaf.mutable_value().at(i) = orig + eps;
+      const float up = make_loss(leaves).value().at(0);
+      leaf.mutable_value().at(i) = orig - eps;
+      const float down = make_loss(leaves).value().at(0);
+      leaf.mutable_value().at(i) = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      EXPECT_NEAR(analytic.at(i), numeric, tol)
+          << "leaf " << li << " element " << i;
+    }
+  }
+}
+
+/// True if every element of the tensor is finite.
+inline bool AllFinite(const Tensor& t) {
+  for (int64_t i = 0; i < t.size(); ++i) {
+    if (!std::isfinite(t.at(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace testing
+}  // namespace embsr
+
+#endif  // EMBSR_TESTS_TEST_UTIL_H_

@@ -1,0 +1,120 @@
+#include "train/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "util/check.h"
+#include "models/baselines_nonneural.h"
+#include "train/model_zoo.h"
+
+namespace embsr {
+namespace {
+
+const ProcessedDataset& SmallData() {
+  static const ProcessedDataset* d = [] {
+    auto r = MakeDataset(JdAppliancesConfig(0.02));
+    EMBSR_CHECK_OK(r);
+    return new ProcessedDataset(std::move(r).value());
+  }();
+  return *d;
+}
+
+TEST(EvaluatorTest, PerfectModelScoresHundred) {
+  // A cheating "model" that always puts the target first.
+  class Oracle : public Recommender {
+   public:
+    explicit Oracle(int64_t n) : n_(n) {}
+    std::string name() const override { return "oracle"; }
+    Status Fit(const ProcessedDataset&) override { return Status::OK(); }
+    std::vector<float> ScoreAll(const Example& ex) override {
+      std::vector<float> s(n_, 0.0f);
+      s[ex.target] = 1.0f;
+      return s;
+    }
+
+   private:
+    int64_t n_;
+  };
+  Oracle oracle(SmallData().num_items);
+  EvalResult r = Evaluate(&oracle, SmallData().test, {1, 5});
+  EXPECT_DOUBLE_EQ(r.report.hit.at(1), 100.0);
+  EXPECT_DOUBLE_EQ(r.report.mrr.at(5), 100.0);
+  EXPECT_EQ(r.ranks.size(), SmallData().test.size());
+  for (int rank : r.ranks) EXPECT_EQ(rank, 1);
+}
+
+TEST(EvaluatorTest, MaxExamplesLimitsWork) {
+  SPop spop(SmallData().num_items);
+  ASSERT_TRUE(spop.Fit(SmallData()).ok());
+  EvalResult r = Evaluate(&spop, SmallData().test, {5}, 10);
+  EXPECT_EQ(r.ranks.size(), 10u);
+}
+
+TEST(EvaluatorTest, ReciprocalRanksMatchRanks) {
+  EvalResult r;
+  r.ranks = {1, 4, 50};
+  auto rr = r.ReciprocalRanksAt(20);
+  ASSERT_EQ(rr.size(), 3u);
+  EXPECT_DOUBLE_EQ(rr[0], 1.0);
+  EXPECT_DOUBLE_EQ(rr[1], 0.25);
+  EXPECT_DOUBLE_EQ(rr[2], 0.0);  // beyond the cutoff
+}
+
+TEST(ExperimentTest, RunsEndToEnd) {
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.embedding_dim = 8;
+  cfg.max_train_examples = 40;
+  cfg.validate_every = 0;
+  ExperimentResult res =
+      RunExperiment("STAMP", SmallData(), cfg, {5, 10, 20}, 20);
+  EXPECT_EQ(res.model, "STAMP");
+  EXPECT_EQ(res.dataset, SmallData().name);
+  EXPECT_EQ(res.eval.ranks.size(), 20u);
+  EXPECT_GT(res.fit_seconds, 0.0);
+  EXPECT_TRUE(res.eval.report.hit.contains(20));
+}
+
+TEST(ExperimentTest, FormatMetricTableContainsAllCells) {
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.embedding_dim = 8;
+  cfg.max_train_examples = 30;
+  cfg.validate_every = 0;
+  std::vector<ExperimentResult> results;
+  results.push_back(RunExperiment("S-POP", SmallData(), cfg, {5, 10}, 20));
+  results.push_back(RunExperiment("SKNN", SmallData(), cfg, {5, 10}, 20));
+  const std::string table = FormatMetricTable("X", results, {5, 10});
+  EXPECT_NE(table.find("S-POP"), std::string::npos);
+  EXPECT_NE(table.find("SKNN"), std::string::npos);
+  EXPECT_NE(table.find("H@5"), std::string::npos);
+  EXPECT_NE(table.find("M@10"), std::string::npos);
+  EXPECT_NE(table.find("Dataset: X"), std::string::npos);
+}
+
+TEST(ExperimentTest, BenchTrainConfigHonorsScale) {
+  setenv("EMBSR_BENCH_SCALE", "0.1", 1);
+  TrainConfig small = BenchTrainConfig();
+  setenv("EMBSR_BENCH_SCALE", "1.0", 1);
+  TrainConfig full = BenchTrainConfig();
+  unsetenv("EMBSR_BENCH_SCALE");
+  EXPECT_LE(small.epochs, full.epochs);
+  EXPECT_GT(small.max_train_examples, 0);
+}
+
+TEST(ExperimentTest, WilcoxonOnModelPairIsComputable) {
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.embedding_dim = 8;
+  cfg.max_train_examples = 40;
+  cfg.validate_every = 0;
+  auto a = RunExperiment("S-POP", SmallData(), cfg, {20}, 50);
+  auto b = RunExperiment("SKNN", SmallData(), cfg, {20}, 50);
+  const double p = WilcoxonSignedRankP(a.eval.ReciprocalRanksAt(20),
+                                       b.eval.ReciprocalRanksAt(20));
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace embsr
