@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_op_importance.dir/bench_ext_op_importance.cc.o"
+  "CMakeFiles/bench_ext_op_importance.dir/bench_ext_op_importance.cc.o.d"
+  "bench_ext_op_importance"
+  "bench_ext_op_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_op_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

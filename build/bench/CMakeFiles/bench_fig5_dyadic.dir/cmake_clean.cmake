@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_dyadic.dir/bench_fig5_dyadic.cc.o"
+  "CMakeFiles/bench_fig5_dyadic.dir/bench_fig5_dyadic.cc.o.d"
+  "bench_fig5_dyadic"
+  "bench_fig5_dyadic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_dyadic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fusion.dir/bench_fig6_fusion.cc.o"
+  "CMakeFiles/bench_fig6_fusion.dir/bench_fig6_fusion.cc.o.d"
+  "bench_fig6_fusion"
+  "bench_fig6_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

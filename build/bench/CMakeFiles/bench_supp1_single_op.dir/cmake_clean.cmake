@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supp1_single_op.dir/bench_supp1_single_op.cc.o"
+  "CMakeFiles/bench_supp1_single_op.dir/bench_supp1_single_op.cc.o.d"
+  "bench_supp1_single_op"
+  "bench_supp1_single_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supp1_single_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

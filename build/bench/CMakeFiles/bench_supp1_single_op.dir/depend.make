@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_supp1_single_op.
+# This may be replaced when dependencies are built.

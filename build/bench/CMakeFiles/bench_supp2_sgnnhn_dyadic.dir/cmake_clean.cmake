@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supp2_sgnnhn_dyadic.dir/bench_supp2_sgnnhn_dyadic.cc.o"
+  "CMakeFiles/bench_supp2_sgnnhn_dyadic.dir/bench_supp2_sgnnhn_dyadic.cc.o.d"
+  "bench_supp2_sgnnhn_dyadic"
+  "bench_supp2_sgnnhn_dyadic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supp2_sgnnhn_dyadic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

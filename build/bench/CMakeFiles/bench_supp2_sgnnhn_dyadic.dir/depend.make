@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_supp2_sgnnhn_dyadic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supp3_topk.dir/bench_supp3_topk.cc.o"
+  "CMakeFiles/bench_supp3_topk.dir/bench_supp3_topk.cc.o.d"
+  "bench_supp3_topk"
+  "bench_supp3_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supp3_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

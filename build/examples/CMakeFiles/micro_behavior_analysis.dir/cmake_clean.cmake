@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_behavior_analysis.dir/micro_behavior_analysis.cpp.o"
+  "CMakeFiles/micro_behavior_analysis.dir/micro_behavior_analysis.cpp.o.d"
+  "micro_behavior_analysis"
+  "micro_behavior_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_behavior_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_bakeoff.dir/model_bakeoff.cpp.o"
+  "CMakeFiles/model_bakeoff.dir/model_bakeoff.cpp.o.d"
+  "model_bakeoff"
+  "model_bakeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_bakeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

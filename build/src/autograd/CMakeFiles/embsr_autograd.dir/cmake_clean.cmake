@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_autograd.dir/ops.cc.o"
+  "CMakeFiles/embsr_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/embsr_autograd.dir/variable.cc.o"
+  "CMakeFiles/embsr_autograd.dir/variable.cc.o.d"
+  "libembsr_autograd.a"
+  "libembsr_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

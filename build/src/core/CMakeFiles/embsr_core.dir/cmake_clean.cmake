@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_core.dir/embsr_model.cc.o"
+  "CMakeFiles/embsr_core.dir/embsr_model.cc.o.d"
+  "libembsr_core.a"
+  "libembsr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

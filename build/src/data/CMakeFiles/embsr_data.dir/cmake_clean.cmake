@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_data.dir/io.cc.o"
+  "CMakeFiles/embsr_data.dir/io.cc.o.d"
+  "CMakeFiles/embsr_data.dir/preprocess.cc.o"
+  "CMakeFiles/embsr_data.dir/preprocess.cc.o.d"
+  "libembsr_data.a"
+  "libembsr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

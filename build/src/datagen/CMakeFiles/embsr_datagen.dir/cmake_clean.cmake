@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_datagen.dir/generator.cc.o"
+  "CMakeFiles/embsr_datagen.dir/generator.cc.o.d"
+  "libembsr_datagen.a"
+  "libembsr_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

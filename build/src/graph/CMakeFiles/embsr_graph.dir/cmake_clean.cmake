@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_graph.dir/session_graph.cc.o"
+  "CMakeFiles/embsr_graph.dir/session_graph.cc.o.d"
+  "libembsr_graph.a"
+  "libembsr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

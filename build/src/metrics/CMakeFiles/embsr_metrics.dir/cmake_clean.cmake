@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_metrics.dir/metrics.cc.o"
+  "CMakeFiles/embsr_metrics.dir/metrics.cc.o.d"
+  "libembsr_metrics.a"
+  "libembsr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

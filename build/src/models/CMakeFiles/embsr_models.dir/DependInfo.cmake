@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/baselines_extra.cc" "src/models/CMakeFiles/embsr_models.dir/baselines_extra.cc.o" "gcc" "src/models/CMakeFiles/embsr_models.dir/baselines_extra.cc.o.d"
+  "/root/repo/src/models/baselines_gnn.cc" "src/models/CMakeFiles/embsr_models.dir/baselines_gnn.cc.o" "gcc" "src/models/CMakeFiles/embsr_models.dir/baselines_gnn.cc.o.d"
+  "/root/repo/src/models/baselines_nonneural.cc" "src/models/CMakeFiles/embsr_models.dir/baselines_nonneural.cc.o" "gcc" "src/models/CMakeFiles/embsr_models.dir/baselines_nonneural.cc.o.d"
+  "/root/repo/src/models/baselines_seq.cc" "src/models/CMakeFiles/embsr_models.dir/baselines_seq.cc.o" "gcc" "src/models/CMakeFiles/embsr_models.dir/baselines_seq.cc.o.d"
+  "/root/repo/src/models/components.cc" "src/models/CMakeFiles/embsr_models.dir/components.cc.o" "gcc" "src/models/CMakeFiles/embsr_models.dir/components.cc.o.d"
+  "/root/repo/src/models/neural_model.cc" "src/models/CMakeFiles/embsr_models.dir/neural_model.cc.o" "gcc" "src/models/CMakeFiles/embsr_models.dir/neural_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/embsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/embsr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/embsr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/embsr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/embsr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/embsr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/embsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/embsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_models.dir/baselines_extra.cc.o"
+  "CMakeFiles/embsr_models.dir/baselines_extra.cc.o.d"
+  "CMakeFiles/embsr_models.dir/baselines_gnn.cc.o"
+  "CMakeFiles/embsr_models.dir/baselines_gnn.cc.o.d"
+  "CMakeFiles/embsr_models.dir/baselines_nonneural.cc.o"
+  "CMakeFiles/embsr_models.dir/baselines_nonneural.cc.o.d"
+  "CMakeFiles/embsr_models.dir/baselines_seq.cc.o"
+  "CMakeFiles/embsr_models.dir/baselines_seq.cc.o.d"
+  "CMakeFiles/embsr_models.dir/components.cc.o"
+  "CMakeFiles/embsr_models.dir/components.cc.o.d"
+  "CMakeFiles/embsr_models.dir/neural_model.cc.o"
+  "CMakeFiles/embsr_models.dir/neural_model.cc.o.d"
+  "libembsr_models.a"
+  "libembsr_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

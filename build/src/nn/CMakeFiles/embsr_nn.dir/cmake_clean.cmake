@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/embsr_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/embsr_nn.dir/layers.cc.o"
+  "CMakeFiles/embsr_nn.dir/layers.cc.o.d"
+  "CMakeFiles/embsr_nn.dir/module.cc.o"
+  "CMakeFiles/embsr_nn.dir/module.cc.o.d"
+  "libembsr_nn.a"
+  "libembsr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

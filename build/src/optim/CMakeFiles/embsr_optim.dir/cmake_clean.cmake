@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_optim.dir/optimizer.cc.o"
+  "CMakeFiles/embsr_optim.dir/optimizer.cc.o.d"
+  "libembsr_optim.a"
+  "libembsr_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

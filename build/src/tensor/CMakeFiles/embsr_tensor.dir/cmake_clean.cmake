@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_tensor.dir/tensor.cc.o"
+  "CMakeFiles/embsr_tensor.dir/tensor.cc.o.d"
+  "libembsr_tensor.a"
+  "libembsr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_train.dir/evaluator.cc.o"
+  "CMakeFiles/embsr_train.dir/evaluator.cc.o.d"
+  "CMakeFiles/embsr_train.dir/experiment.cc.o"
+  "CMakeFiles/embsr_train.dir/experiment.cc.o.d"
+  "CMakeFiles/embsr_train.dir/model_zoo.cc.o"
+  "CMakeFiles/embsr_train.dir/model_zoo.cc.o.d"
+  "libembsr_train.a"
+  "libembsr_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_util.dir/env.cc.o"
+  "CMakeFiles/embsr_util.dir/env.cc.o.d"
+  "CMakeFiles/embsr_util.dir/logging.cc.o"
+  "CMakeFiles/embsr_util.dir/logging.cc.o.d"
+  "CMakeFiles/embsr_util.dir/rng.cc.o"
+  "CMakeFiles/embsr_util.dir/rng.cc.o.d"
+  "CMakeFiles/embsr_util.dir/status.cc.o"
+  "CMakeFiles/embsr_util.dir/status.cc.o.d"
+  "CMakeFiles/embsr_util.dir/string_util.cc.o"
+  "CMakeFiles/embsr_util.dir/string_util.cc.o.d"
+  "libembsr_util.a"
+  "libembsr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embsr_test.dir/embsr_test.cc.o"
+  "CMakeFiles/embsr_test.dir/embsr_test.cc.o.d"
+  "embsr_test"
+  "embsr_test.pdb"
+  "embsr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/io_test.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/io_test.dir/io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/embsr_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/embsr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/embsr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/embsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/embsr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/embsr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/embsr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/embsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/embsr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/embsr_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/embsr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/embsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
