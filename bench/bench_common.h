@@ -3,11 +3,17 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "datagen/generator.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "train/experiment.h"
 #include "util/check.h"
 #include "util/env.h"
+#include "util/logging.h"
+#include "util/timer.h"
 
 namespace embsr {
 namespace bench {
@@ -61,6 +67,95 @@ inline void PrintHeader(const char* experiment, const char* paper_ref,
               BenchScale(), BenchScale());
   std::printf("=====================================================\n\n");
 }
+
+/// Machine-readable sidecar of a bench run. Collects experiment results and
+/// named scalars while the bench prints its human table, then writes
+/// `BENCH_<name>.json` (schema v1: workload scale, wall time, results,
+/// scalars, metrics snapshot) on destruction. The destination directory is
+/// the working directory, overridable with EMBSR_BENCH_JSON_DIR; the file
+/// is what scripts/check_bench_json.py validates and what the perf
+/// trajectory accumulates from.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  ~BenchReport() { Write(); }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void AddResult(const ExperimentResult& r) { results_.push_back(r); }
+
+  void AddResults(const std::vector<ExperimentResult>& rs) {
+    for (const auto& r : rs) results_.push_back(r);
+  }
+
+  void AddScalar(const std::string& key, double value) {
+    scalars_.emplace_back(key, value);
+  }
+
+  std::string path() const {
+    return GetEnvString("EMBSR_BENCH_JSON_DIR", ".") + "/BENCH_" + name_ +
+           ".json";
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").Int(1);
+    w.Key("bench").String(name_);
+    w.Key("workload").BeginObject();
+    w.Key("bench_scale").Number(BenchScale());
+    w.Key("dataset_scale").Number(DatasetScale());
+    w.EndObject();
+    w.Key("wall_seconds").Number(timer_.ElapsedSeconds());
+    w.Key("results").BeginArray();
+    for (const auto& r : results_) {
+      w.BeginObject();
+      w.Key("model").String(r.model);
+      w.Key("dataset").String(r.dataset);
+      w.Key("fit_seconds").Number(r.fit_seconds);
+      w.Key("eval_seconds").Number(r.eval_seconds);
+      w.Key("hit").BeginObject();
+      for (const auto& [k, v] : r.eval.report.hit) {
+        w.Key(std::to_string(k)).Number(v);
+      }
+      w.EndObject();
+      w.Key("mrr").BeginObject();
+      for (const auto& [k, v] : r.eval.report.mrr) {
+        w.Key(std::to_string(k)).Number(v);
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("scalars").BeginObject();
+    for (const auto& [k, v] : scalars_) w.Key(k).Number(v);
+    w.EndObject();
+    w.Key("metrics").Raw(obs::Registry::Global().SnapshotJson());
+    w.EndObject();
+
+    const std::string out = path();
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      EMBSR_LOG(Warning) << "cannot write bench report '" << out << "'";
+      return;
+    }
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    EMBSR_LOG(Info) << "wrote " << out;
+  }
+
+ private:
+  std::string name_;
+  WallTimer timer_;
+  std::vector<ExperimentResult> results_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  bool written_ = false;
+};
 
 }  // namespace bench
 }  // namespace embsr

@@ -17,6 +17,7 @@ int main() {
       "EMBSR-W learns sigmoid gates over operations; expect it to match or "
       "edge out EMBSR where noise operations (hover/filter) dilute the "
       "signal. FPMC/GRU4Rec anchor the bottom of the table.");
+  BenchReport report("ext_op_importance");
 
   const std::vector<int> ks = {10, 20};
   const TrainConfig cfg = BenchTrainConfig();
@@ -30,6 +31,7 @@ int main() {
       results.push_back(RunExperiment(name, data, cfg, ks));
     }
     std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
+    report.AddResults(results);
   }
   return 0;
 }

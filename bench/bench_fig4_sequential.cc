@@ -17,6 +17,7 @@ int main() {
       "ICDE'22 EMBSR paper, Fig. 4 (bar charts on Appliances/Computers)",
       "expected shape: EMBSR > SGNN-Seq-Self > SGNN-Self, RNN-Self worst "
       "on M@K");
+  BenchReport report("fig4_sequential");
 
   const std::vector<int> ks = {10, 20};
   const TrainConfig cfg = BenchTrainConfig();
@@ -30,6 +31,7 @@ int main() {
       results.push_back(RunExperiment(name, data, cfg, ks));
     }
     std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
+    report.AddResults(results);
   }
   return 0;
 }

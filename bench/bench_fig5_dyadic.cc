@@ -16,6 +16,7 @@ int main() {
       "ICDE'22 EMBSR paper, Fig. 5 (bar charts on Appliances/Computers)",
       "expected shape: SGNN-Dyadic > SGNN-Abs-Self in all cases; EMBSR "
       "best; RNN-Self worst");
+  BenchReport report("fig5_dyadic");
 
   const std::vector<int> ks = {10, 20};
   const TrainConfig cfg = BenchTrainConfig();
@@ -29,6 +30,7 @@ int main() {
       results.push_back(RunExperiment(name, data, cfg, ks));
     }
     std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
+    report.AddResults(results);
   }
   return 0;
 }

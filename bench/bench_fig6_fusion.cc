@@ -16,6 +16,7 @@ int main() {
       "ICDE'22 EMBSR paper, Fig. 6 (line charts on Appliances/Computers)",
       "expected shape: beta=0 (recent interest only) worst; larger beta "
       "competitive; the learned gate best or tied-best");
+  BenchReport report("fig6_fusion");
 
   const std::vector<int> ks = {10, 20};
   const TrainConfig cfg = BenchTrainConfig();
@@ -33,6 +34,9 @@ int main() {
       std::printf("%8s  %8.2f  %8.2f  %8.2f  %8.2f\n", label.c_str(),
                   r.report.hit.at(10), r.report.hit.at(20),
                   r.report.mrr.at(10), r.report.mrr.at(20));
+      const std::string prefix = std::string(which) + "/beta_" + label;
+      report.AddScalar(prefix + "/h20", r.report.hit.at(20));
+      report.AddScalar(prefix + "/m20", r.report.mrr.at(20));
     };
     for (float beta : betas) {
       char label[16];

@@ -36,6 +36,7 @@ int main() {
               "ICDE'22 EMBSR paper, Fig. 7",
               "macro-only recalls mirror the last item; micro-behavior "
               "models recall items near the deeply-engaged one");
+  BenchReport report("fig7_case_study");
 
   const ProcessedDataset data = LoadDataset("computers");
   const TrainConfig cfg = BenchTrainConfig();
@@ -95,6 +96,7 @@ int main() {
                         return scores[a] > scores[b];
                       });
     const int rank = RankOfTarget(scores, chosen->target);
+    report.AddScalar("target_rank/" + names[mi], rank);
     std::printf("%-14s top-5: ", names[mi].c_str());
     for (int i = 0; i < 5; ++i) {
       std::printf("%lld%s ", static_cast<long long>(order[i]),

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "autograd/ops.h"
 #include "core/embsr_model.h"
 #include "graph/session_graph.h"
@@ -139,4 +141,14 @@ BENCHMARK(BM_EmbsrTrainEpoch)->Arg(32);
 }  // namespace
 }  // namespace embsr
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run also leaves a machine-readable
+// BENCH_micro_substrate.json (workload scale + metrics snapshot) behind;
+// pass --benchmark_format=json for google-benchmark's own timing JSON.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  embsr::bench::BenchReport report("micro_substrate");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,7 @@ int main() {
       "ICDE'22 EMBSR paper, supplemental Table I",
       "BERT4Rec/SGNN-HN see click-only sequences; EMBSR sees everything — "
       "expect EMBSR's margin to hold or grow (esp. on Trivago)");
+  BenchReport report("supp1_single_op");
 
   const std::vector<int> ks = {5, 10, 20};
   const TrainConfig cfg = BenchTrainConfig();
@@ -33,6 +34,7 @@ int main() {
     results.push_back(RunExperiment("SGNN-HN", single, cfg, ks));
     results.push_back(RunExperiment("EMBSR", full, cfg, ks));
     std::printf("%s\n", FormatMetricTable(full.name, results, ks).c_str());
+    report.AddResults(results);
   }
   return 0;
 }

@@ -15,6 +15,7 @@ int main() {
       "Supplement Table II: dyadic encoding applied to SGNN-HN",
       "ICDE'22 EMBSR paper, supplemental Table II",
       "expected shape: SGNN-Dyadic beats SGNN-HN on M@K; full EMBSR best");
+  BenchReport report("supp2_sgnnhn_dyadic");
 
   const std::vector<int> ks = {5, 10, 20};
   const TrainConfig cfg = BenchTrainConfig();
@@ -28,6 +29,7 @@ int main() {
       results.push_back(RunExperiment(name, data, cfg, ks));
     }
     std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
+    report.AddResults(results);
   }
   return 0;
 }

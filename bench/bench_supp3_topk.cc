@@ -16,6 +16,7 @@ int main() {
               "ICDE'22 EMBSR paper, supplemental Table III",
               "headline subset of systems; EMBSR leads on JD, top-1 on "
               "Trivago is hard for everyone (ground truth unseen)");
+  BenchReport report("supp3_topk");
 
   const std::vector<int> ks = {1, 3, 5};
   const TrainConfig cfg = BenchTrainConfig();
@@ -33,6 +34,7 @@ int main() {
       EMBSR_CHECK(std::fabs(rep.hit.at(1) - rep.mrr.at(1)) < 1e-9);
     }
     std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
+    report.AddResults(results);
   }
   return 0;
 }

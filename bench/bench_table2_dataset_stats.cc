@@ -13,6 +13,7 @@ int main() {
               "ICDE'22 EMBSR paper, Table II",
               "synthetic stand-ins for the JD/Trivago logs; counts scale "
               "with EMBSR_BENCH_SCALE, the paper's are ~100x larger");
+  BenchReport report("table2_dataset_stats");
 
   std::vector<std::string> header = {"Datasets", "JD-Appliances",
                                      "JD-Computers", "Trivago"};
@@ -30,6 +31,17 @@ int main() {
     rows[2].push_back(std::to_string(data.test.size()));
     rows[3].push_back(std::to_string(data.num_items));
     rows[4].push_back(std::to_string(data.TotalMicroBehaviors()));
+    const std::string prefix = which;
+    report.AddScalar(prefix + "/train_sessions",
+                     static_cast<double>(data.train.size()));
+    report.AddScalar(prefix + "/valid_sessions",
+                     static_cast<double>(data.valid.size()));
+    report.AddScalar(prefix + "/test_sessions",
+                     static_cast<double>(data.test.size()));
+    report.AddScalar(prefix + "/items",
+                     static_cast<double>(data.num_items));
+    report.AddScalar(prefix + "/micro_behaviors",
+                     static_cast<double>(data.TotalMicroBehaviors()));
   }
   std::printf("%s\n", RenderTable(header, rows).c_str());
 

@@ -18,6 +18,7 @@ int main() {
               "expect the *shape*: neural > S-POP/SKNN on JD, GNN family > "
               "RNN family, micro-behavior models competitive, EMBSR best; "
               "S-POP collapses on Trivago");
+  BenchReport report("table3_overall");
 
   const std::vector<int> ks = {5, 10, 20};
   const TrainConfig cfg = BenchTrainConfig();
@@ -29,6 +30,7 @@ int main() {
       results.push_back(RunExperiment(name, data, cfg, ks));
     }
     std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
+    report.AddResults(results);
 
     // Improvement of EMBSR over the best baseline per metric, as in the
     // paper's "Imp." column.

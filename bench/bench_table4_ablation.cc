@@ -14,6 +14,7 @@ int main() {
               "ICDE'22 EMBSR paper, Table IV",
               "expected shape: full EMBSR best overall; single-pattern "
               "variants (NS/NG) weakest on the JD datasets");
+  BenchReport report("table4_ablation");
 
   const std::vector<int> ks = {10, 20};
   const TrainConfig cfg = BenchTrainConfig();
@@ -27,6 +28,7 @@ int main() {
       results.push_back(RunExperiment(name, data, cfg, ks));
     }
     std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
+    report.AddResults(results);
   }
   return 0;
 }

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json sidecar files against the schema (v1).
+
+Every bench binary in this repo writes a machine-readable report next to its
+human-readable table (see BenchReport in bench/bench_common.h). This script
+checks those reports structurally so CI catches a bench that silently stops
+emitting results or breaks the JSON contract.
+
+Usage:
+  check_bench_json.py FILE [FILE ...]      validate existing report files
+  check_bench_json.py --run BIN [ARG ...]  run a bench binary in a fresh
+                                           temp dir, then validate every
+                                           BENCH_*.json it produced
+
+Exits non-zero and prints one line per problem on failure. Stdlib only.
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA_VERSION = 1
+
+RESULT_KEYS = {
+    "model": str,
+    "dataset": str,
+    "fit_seconds": (int, float),
+    "eval_seconds": (int, float),
+    "hit": dict,
+    "mrr": dict,
+}
+
+
+def _err(errors, path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def _check_number_map(errors, path, obj, where):
+    """A {name: number} object, e.g. scalars or hit/mrr cutoff maps."""
+    if not isinstance(obj, dict):
+        _err(errors, path, f"{where} must be an object, got {type(obj).__name__}")
+        return
+    for k, v in obj.items():
+        if v is not None and not isinstance(v, (int, float)):
+            _err(errors, path, f"{where}[{k!r}] must be a number, got {v!r}")
+
+
+def check_report(path, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        _err(errors, path, f"not readable as JSON: {e}")
+        return
+
+    if not isinstance(doc, dict):
+        _err(errors, path, "top level must be an object")
+        return
+
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        _err(errors, path,
+             f"schema_version must be {SCHEMA_VERSION}, "
+             f"got {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        _err(errors, path, "missing or empty 'bench' name")
+    else:
+        expected = f"BENCH_{doc['bench']}.json"
+        if os.path.basename(path) != expected:
+            _err(errors, path, f"file name should be {expected}")
+
+    workload = doc.get("workload")
+    if not isinstance(workload, dict):
+        _err(errors, path, "missing 'workload' object")
+    else:
+        for key in ("bench_scale", "dataset_scale"):
+            if not isinstance(workload.get(key), (int, float)):
+                _err(errors, path, f"workload.{key} must be a number")
+
+    if not isinstance(doc.get("wall_seconds"), (int, float)):
+        _err(errors, path, "wall_seconds must be a number")
+    elif doc["wall_seconds"] < 0:
+        _err(errors, path, "wall_seconds must be non-negative")
+
+    results = doc.get("results")
+    if not isinstance(results, list):
+        _err(errors, path, "'results' must be an array")
+        results = []
+    for i, r in enumerate(results):
+        if not isinstance(r, dict):
+            _err(errors, path, f"results[{i}] must be an object")
+            continue
+        for key, want in RESULT_KEYS.items():
+            if key not in r:
+                _err(errors, path, f"results[{i}] missing key {key!r}")
+            elif not isinstance(r[key], want):
+                _err(errors, path,
+                     f"results[{i}].{key} has wrong type "
+                     f"({type(r[key]).__name__})")
+        for cutoffs in ("hit", "mrr"):
+            if isinstance(r.get(cutoffs), dict):
+                _check_number_map(errors, path, r[cutoffs],
+                                  f"results[{i}].{cutoffs}")
+                for k in r[cutoffs]:
+                    if not k.isdigit():
+                        _err(errors, path,
+                             f"results[{i}].{cutoffs} cutoff {k!r} "
+                             "is not an integer")
+
+    _check_number_map(errors, path, doc.get("scalars", {}), "scalars")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        _err(errors, path, "missing 'metrics' snapshot object")
+    else:
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                _err(errors, path, f"metrics.{section} missing")
+        _check_number_map(errors, path, metrics.get("counters", {}),
+                          "metrics.counters")
+        _check_number_map(errors, path, metrics.get("gauges", {}),
+                          "metrics.gauges")
+        hists = metrics.get("histograms", {})
+        if not isinstance(hists, dict):
+            _err(errors, path, "metrics.histograms must be an object")
+            hists = {}
+        for name, h in hists.items():
+            if not isinstance(h, dict):
+                _err(errors, path, f"histogram {name!r} must be an object")
+                continue
+            bounds = h.get("bounds")
+            counts = h.get("counts")
+            if not isinstance(bounds, list) or not isinstance(counts, list):
+                _err(errors, path,
+                     f"histogram {name!r} needs 'bounds' and 'counts' arrays")
+                continue
+            if len(counts) != len(bounds) + 1:
+                _err(errors, path,
+                     f"histogram {name!r}: len(counts)={len(counts)} != "
+                     f"len(bounds)+1={len(bounds) + 1}")
+            if isinstance(h.get("count"), int) and sum(counts) != h["count"]:
+                _err(errors, path,
+                     f"histogram {name!r}: bucket counts sum to "
+                     f"{sum(counts)}, 'count' says {h['count']}")
+
+    # A report with neither results nor scalars carries no data at all;
+    # flag it (bench_micro_substrate still has its metrics snapshot, and
+    # google-benchmark owns its timing numbers, so metrics-only is fine
+    # when results/scalars are both present-but-empty only for that bench).
+    if not results and not doc.get("scalars") and not doc.get("metrics"):
+        _err(errors, path, "report carries no results, scalars, or metrics")
+
+
+def run_and_collect(argv):
+    """Run a bench binary in a fresh temp dir; return produced report paths."""
+    binary = os.path.abspath(argv[0])
+    with tempfile.TemporaryDirectory(prefix="embsr_bench_json_") as tmp:
+        env = dict(os.environ, EMBSR_BENCH_JSON_DIR=tmp)
+        proc = subprocess.run([binary] + argv[1:], env=env, cwd=tmp,
+                              stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            print(f"{binary}: exited with {proc.returncode}", file=sys.stderr)
+            return 1
+        reports = sorted(glob.glob(os.path.join(tmp, "BENCH_*.json")))
+        if not reports:
+            print(f"{binary}: produced no BENCH_*.json in {tmp}",
+                  file=sys.stderr)
+            return 1
+        errors = []
+        for path in reports:
+            check_report(path, errors)
+        for e in errors:
+            print(e, file=sys.stderr)
+        if not errors:
+            for path in reports:
+                print(f"ok: {os.path.basename(path)}")
+        return 1 if errors else 0
+
+
+def main(argv):
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if argv else 2
+    if argv[0] == "--run":
+        if len(argv) < 2:
+            print("--run needs a binary path", file=sys.stderr)
+            return 2
+        return run_and_collect(argv[1:])
+    errors = []
+    for path in argv:
+        check_report(path, errors)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        for path in argv:
+            print(f"ok: {path}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace embsr {
@@ -55,6 +56,11 @@ void Variable::ZeroGrad() {
 }
 
 void Variable::Backward() const {
+  EMBSR_TIMED_SPAN("autograd/backward", "autograd/backward_ms");
+  static obs::Counter* backward_calls =
+      obs::Registry::Global().GetCounter("autograd/backward_calls");
+  backward_calls->Increment();
+
   EMBSR_CHECK(defined());
   EMBSR_CHECK_MSG(node_->value.size() == 1,
                   "Backward() requires a scalar root, got %s",

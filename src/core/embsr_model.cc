@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/session_graph.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace embsr {
@@ -113,6 +114,7 @@ int64_t EmbsrModel::RelationId(int64_t op_a, int64_t op_b) const {
 
 Variable EmbsrModel::EncodeOpSequences(
     const std::vector<std::vector<int64_t>>& macro_ops) {
+  EMBSR_TRACE_SPAN("embsr/micro_gru");
   std::vector<Variable> encodings;
   encodings.reserve(macro_ops.size());
   for (const auto& ops : macro_ops) {
@@ -126,6 +128,7 @@ void EmbsrModel::RunGnn(const Example& ex,
                         const std::vector<int64_t>& macro_items,
                         const std::vector<std::vector<int64_t>>& macro_ops,
                         Variable* satellites, Variable* star) {
+  EMBSR_TRACE_SPAN("embsr/gnn");
   using namespace ag;  // NOLINT
   (void)ex;
   const int64_t d = config().embedding_dim;
@@ -214,6 +217,7 @@ void EmbsrModel::RunGnn(const Example& ex,
 }
 
 Variable EmbsrModel::Logits(const Example& ex) {
+  EMBSR_TIMED_SPAN("embsr/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   const int64_t d = config().embedding_dim;
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
@@ -296,6 +300,7 @@ Variable EmbsrModel::Logits(const Example& ex) {
   if (!cfg_.use_self_attention) {
     z_s = x_s;  // EMBSR-NS
   } else {
+    EMBSR_TRACE_SPAN("embsr/attention");
     // Operation-aware self-attention, computed for the star query only
     // (the downstream fusion uses z_s alone).
     Variable kv_base = ConcatRows(x, x_s);  // [t+1, d]

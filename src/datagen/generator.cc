@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace embsr {
@@ -349,12 +351,20 @@ PreprocessConfig PreprocessConfigFor(const GeneratorConfig& cfg) {
 }
 
 Result<ProcessedDataset> MakeDataset(const GeneratorConfig& config) {
+  EMBSR_TIMED_SPAN("datagen/make_dataset", "datagen/make_dataset_ms");
+  static obs::Counter* session_counter =
+      obs::Registry::Global().GetCounter("datagen/sessions");
+  session_counter->Add(config.num_sessions);
   return Preprocess(GenerateSessions(config), config.num_operations,
                     PreprocessConfigFor(config), config.name);
 }
 
 Result<ProcessedDataset> MakeDatasetSingleOp(const GeneratorConfig& config,
                                              int64_t operation) {
+  EMBSR_TIMED_SPAN("datagen/make_dataset", "datagen/make_dataset_ms");
+  static obs::Counter* session_counter =
+      obs::Registry::Global().GetCounter("datagen/sessions");
+  session_counter->Add(config.num_sessions);
   PreprocessConfig p = PreprocessConfigFor(config);
   p.restrict_macro_to_operation = operation;
   return Preprocess(GenerateSessions(config), config.num_operations, p,

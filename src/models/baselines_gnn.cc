@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace embsr {
@@ -39,6 +40,7 @@ SrGnn::SrGnn(int64_t num_items, int64_t num_operations,
 }
 
 Variable SrGnn::Logits(const Example& ex) {
+  EMBSR_TIMED_SPAN("srgnn/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   const auto seq = Tail(ex.macro_items, config().max_positions);
   SrgnnAdjacency adj = BuildSrgnnAdjacency(seq);
@@ -68,6 +70,7 @@ GcSan::GcSan(int64_t num_items, int64_t num_operations,
 }
 
 Variable GcSan::Logits(const Example& ex) {
+  EMBSR_TIMED_SPAN("gcsan/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   const auto seq = Tail(ex.macro_items, config().max_positions);
   SrgnnAdjacency adj = BuildSrgnnAdjacency(seq);
@@ -108,6 +111,7 @@ MkmSr::MkmSr(int64_t num_items, int64_t num_operations,
 }
 
 Variable MkmSr::Logits(const Example& ex) {
+  EMBSR_TIMED_SPAN("mkmsr/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   const auto seq = Tail(ex.macro_items, config().max_positions);
   SrgnnAdjacency adj = BuildSrgnnAdjacency(seq);
@@ -164,6 +168,7 @@ SgnnHn::SgnnHn(int64_t num_items, int64_t num_operations,
 }
 
 Variable SgnnHn::Logits(const Example& ex) {
+  EMBSR_TIMED_SPAN("sgnnhn/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   const int64_t d = config().embedding_dim;
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));

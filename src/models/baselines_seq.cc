@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace embsr {
@@ -41,6 +42,7 @@ Narm::Narm(int64_t num_items, int64_t num_operations, const TrainConfig& cfg)
 }
 
 Variable Narm::Logits(const Example& ex) {
+  EMBSR_TIMED_SPAN("narm/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   const auto seq = Tail(ex.macro_items, config().max_positions);
   Variable x = items_.Forward(seq);
@@ -82,6 +84,7 @@ Stamp::Stamp(int64_t num_items, int64_t num_operations,
 }
 
 Variable Stamp::Logits(const Example& ex) {
+  EMBSR_TIMED_SPAN("stamp/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   const auto seq = Tail(ex.macro_items, config().max_positions);
   Variable x = items_.Forward(seq);
@@ -119,6 +122,7 @@ Rib::Rib(int64_t num_items, int64_t num_operations, const TrainConfig& cfg)
 }
 
 Variable Rib::Logits(const Example& ex) {
+  EMBSR_TIMED_SPAN("rib/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   const auto flat_items = Tail(ex.flat_items, config().max_positions);
   const auto flat_ops = Tail(ex.flat_ops, config().max_positions);
@@ -160,6 +164,7 @@ Hup::Hup(int64_t num_items, int64_t num_operations, const TrainConfig& cfg)
 }
 
 Variable Hup::Logits(const Example& ex) {
+  EMBSR_TIMED_SPAN("hup/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   const size_t max_items = static_cast<size_t>(config().max_positions) / 2;
   const size_t start =
@@ -205,6 +210,7 @@ Bert4Rec::Bert4Rec(int64_t num_items, int64_t num_operations,
 }
 
 Variable Bert4Rec::Logits(const Example& ex) {
+  EMBSR_TIMED_SPAN("bert4rec/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   std::vector<int64_t> seq = Tail(ex.macro_items, config().max_positions);
   seq.push_back(num_items());  // [MASK] token at the target position

@@ -4,6 +4,8 @@
 
 #include "data/preprocess.h"
 #include "metrics/metrics.h"
+#include "obs/run_logger.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -24,6 +26,7 @@ NeuralSessionModel::NeuralSessionModel(std::string name, int64_t num_items,
 }
 
 Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
+  EMBSR_TRACE_SPAN("train/fit");
   if (data.train.empty()) {
     return Status::InvalidArgument("empty training split");
   }
@@ -49,13 +52,24 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
   double best_mrr = -1.0;
   std::vector<Tensor> best_params;
 
+  obs::RunLogger* run_log = obs::RunLogger::Global();
+  static obs::Gauge* loss_gauge =
+      obs::Registry::Global().GetGauge("train/loss");
+  static obs::Gauge* throughput_gauge =
+      obs::Registry::Global().GetGauge("train/examples_per_sec");
+  static obs::Counter* epoch_counter =
+      obs::Registry::Global().GetCounter("train/epochs");
+
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    EMBSR_TRACE_SPAN("train/epoch");
     WallTimer timer;
     SetTraining(true);
     opt.set_lr(schedule.LrForEpoch(epoch));
     rng_.Shuffle(&train);
     double epoch_loss = 0.0;
+    double grad_norm_sum = 0.0;
     int64_t steps = 0;
+    int64_t batches = 0;
 
     for (size_t begin = 0; begin < train.size();
          begin += cfg_.batch_size) {
@@ -73,21 +87,37 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
         ++steps;
       }
       if (cfg_.clip_norm > 0.0f) {
-        optim::ClipGradNorm(Parameters(), cfg_.clip_norm);
+        grad_norm_sum += optim::ClipGradNorm(Parameters(), cfg_.clip_norm);
+      } else if (run_log != nullptr) {
+        // The extra parameter sweep is only paid when telemetry asked for
+        // it; clipping already measures the norm as a side effect above.
+        grad_norm_sum += optim::GlobalGradNorm(Parameters());
       }
+      ++batches;
       opt.Step();
     }
 
+    const double epoch_seconds = timer.ElapsedSeconds();
+    const double mean_loss = steps > 0 ? epoch_loss / steps : 0.0;
+    const double examples_per_sec =
+        epoch_seconds > 0.0 ? static_cast<double>(steps) / epoch_seconds
+                            : 0.0;
+    loss_gauge->Set(mean_loss);
+    throughput_gauge->Set(examples_per_sec);
+    epoch_counter->Increment();
+
     if (cfg_.verbose) {
       EMBSR_LOG(Info) << name_ << " epoch " << epoch + 1 << "/"
-                      << cfg_.epochs << " loss="
-                      << (steps > 0 ? epoch_loss / steps : 0.0)
-                      << " (" << timer.ElapsedSeconds() << "s)";
+                      << cfg_.epochs << " loss=" << mean_loss << " ("
+                      << epoch_seconds << "s)";
     }
 
+    double valid_mrr = -1.0;
     if (cfg_.validate_every > 0 && !data.valid.empty() &&
         (epoch + 1) % cfg_.validate_every == 0) {
+      EMBSR_TRACE_SPAN("train/validate");
       const double mrr = ValidationMrr(data.valid, 400);
+      valid_mrr = mrr;
       if (mrr > best_mrr) {
         best_mrr = mrr;
         best_params = SnapshotParameters();
@@ -95,6 +125,21 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
       if (cfg_.verbose) {
         EMBSR_LOG(Info) << name_ << " valid MRR@20=" << mrr;
       }
+    }
+
+    if (run_log != nullptr) {
+      obs::EpochRecord rec;
+      rec.model = name_;
+      rec.dataset = data.name;
+      rec.epoch = epoch + 1;
+      rec.total_epochs = cfg_.epochs;
+      rec.loss = mean_loss;
+      rec.grad_norm = batches > 0 ? grad_norm_sum / batches : 0.0;
+      rec.wall_seconds = epoch_seconds;
+      rec.examples_per_sec = examples_per_sec;
+      rec.lr = opt.lr();
+      rec.valid_mrr = valid_mrr;
+      run_log->LogEpoch(rec);
     }
   }
 
@@ -104,6 +149,7 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
 }
 
 std::vector<float> NeuralSessionModel::ScoreAll(const Example& ex) {
+  EMBSR_TIMED_SPAN("model/score_all", "model/score_all_ms");
   const bool was_training = training();
   SetTraining(false);
   ag::Variable logits = Logits(ex);

@@ -1,0 +1,53 @@
+#ifndef EMBSR_OBS_JSON_H_
+#define EMBSR_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace embsr {
+namespace obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& s);
+
+/// Minimal streaming JSON writer shared by the trace exporter, the metrics
+/// registry, the run logger and the bench harnesses. Emits compact
+/// (single-line) JSON; key order is exactly the call order, so output is
+/// deterministic. The writer trusts the caller to produce a well-formed
+/// document (Key only inside objects, matching Begin/End); it exists to
+/// centralize escaping and number formatting, not to validate.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& k);
+
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Number(double v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+  /// Splices a pre-serialized JSON value verbatim (e.g. a nested snapshot).
+  JsonWriter& Raw(const std::string& json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  /// One entry per open scope: true once the first element was written.
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace embsr
+
+#endif  // EMBSR_OBS_JSON_H_

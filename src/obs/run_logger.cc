@@ -1,0 +1,70 @@
+#include "obs/run_logger.h"
+
+#include <memory>
+
+#include "obs/json.h"
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace embsr {
+namespace obs {
+
+namespace {
+
+std::mutex g_global_mu;
+std::unique_ptr<RunLogger> g_global;          // guarded by g_global_mu
+bool g_global_initialized = false;            // guarded by g_global_mu
+
+}  // namespace
+
+RunLogger::RunLogger(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    EMBSR_LOG(Warning) << "cannot open run log '" << path
+                       << "'; telemetry disabled";
+  }
+}
+
+RunLogger::~RunLogger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RunLogger::LogEpoch(const EpochRecord& rec) {
+  if (file_ == nullptr) return;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("model").String(rec.model);
+  w.Key("dataset").String(rec.dataset);
+  w.Key("epoch").Int(rec.epoch);
+  w.Key("total_epochs").Int(rec.total_epochs);
+  w.Key("loss").Number(rec.loss);
+  w.Key("grad_norm").Number(rec.grad_norm);
+  w.Key("wall_seconds").Number(rec.wall_seconds);
+  w.Key("examples_per_sec").Number(rec.examples_per_sec);
+  w.Key("lr").Number(rec.lr);
+  if (rec.valid_mrr >= 0.0) w.Key("valid_mrr").Number(rec.valid_mrr);
+  w.EndObject();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(file_, "%s\n", w.str().c_str());
+  std::fflush(file_);
+}
+
+RunLogger* RunLogger::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_initialized) {
+    g_global_initialized = true;
+    const std::string path = GetEnvString("EMBSR_RUN_LOG", "");
+    if (!path.empty()) g_global = std::make_unique<RunLogger>(path);
+  }
+  return (g_global != nullptr && g_global->ok()) ? g_global.get() : nullptr;
+}
+
+void RunLogger::ReinitGlobalFromEnv() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global.reset();
+  g_global_initialized = false;
+}
+
+}  // namespace obs
+}  // namespace embsr

@@ -1,0 +1,64 @@
+#ifndef EMBSR_OBS_RUN_LOGGER_H_
+#define EMBSR_OBS_RUN_LOGGER_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace embsr {
+namespace obs {
+
+/// One epoch of training telemetry, as fed by NeuralSessionModel::Fit.
+struct EpochRecord {
+  std::string model;
+  std::string dataset;
+  int epoch = 0;  // 1-based
+  int total_epochs = 0;
+  double loss = 0.0;            // mean per-example loss over the epoch
+  double grad_norm = 0.0;       // mean pre-clip global grad norm per batch
+  double wall_seconds = 0.0;    // epoch wall time
+  double examples_per_sec = 0.0;
+  double lr = 0.0;
+  /// MRR@20 on the validation split when this epoch validated; < 0 → the
+  /// field is omitted from the record.
+  double valid_mrr = -1.0;
+};
+
+/// Append-only JSONL training log: one self-contained JSON object per
+/// epoch. The training loop feeds it through Global(), which is active
+/// whenever `EMBSR_RUN_LOG=<path>` is set; tests and tools can also
+/// construct loggers directly against a path.
+class RunLogger {
+ public:
+  explicit RunLogger(const std::string& path);
+  ~RunLogger();
+
+  RunLogger(const RunLogger&) = delete;
+  RunLogger& operator=(const RunLogger&) = delete;
+
+  /// Whether the sink opened successfully.
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Serializes `rec` as one JSON line and flushes. Thread-safe.
+  void LogEpoch(const EpochRecord& rec);
+
+  /// The process-wide logger configured by EMBSR_RUN_LOG, or nullptr when
+  /// the variable is unset (or the file could not be opened). The env var
+  /// is read once, at first call.
+  static RunLogger* Global();
+
+  /// Drops the cached global logger and re-reads EMBSR_RUN_LOG on the next
+  /// Global() call. Tests only.
+  static void ReinitGlobalFromEnv();
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace embsr
+
+#endif  // EMBSR_OBS_RUN_LOGGER_H_

@@ -77,15 +77,19 @@ void Adam::Step() {
   }
 }
 
-float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm) {
-  EMBSR_CHECK_GT(max_norm, 0.0f);
+float GlobalGradNorm(const std::vector<ag::Variable>& params) {
   double total = 0.0;
   for (const auto& p : params) {
     if (!p.has_grad()) continue;
     const float n = p.GradOrZeros().L2Norm();
     total += static_cast<double>(n) * n;
   }
-  const float norm = static_cast<float>(std::sqrt(total));
+  return static_cast<float>(std::sqrt(total));
+}
+
+float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm) {
+  EMBSR_CHECK_GT(max_norm, 0.0f);
+  const float norm = GlobalGradNorm(params);
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (auto& pv : params) {

@@ -60,6 +60,10 @@ class Adam : public Optimizer {
   std::vector<Tensor> v_;
 };
 
+/// L2 norm of all accumulated gradients taken together (parameters with no
+/// gradient contribute zero).
+float GlobalGradNorm(const std::vector<ag::Variable>& params);
+
 /// Rescales all gradients so their global L2 norm is at most `max_norm`.
 /// Returns the pre-clip norm.
 float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace embsr {
 
@@ -15,17 +18,29 @@ std::vector<double> EvalResult::ReciprocalRanksAt(int k) const {
 
 EvalResult Evaluate(Recommender* model, const std::vector<Example>& test,
                     const std::vector<int>& ks, size_t max_examples) {
+  EMBSR_TRACE_SPAN("eval/evaluate");
+  static obs::Counter* example_counter =
+      obs::Registry::Global().GetCounter("eval/examples");
+  static obs::Gauge* throughput_gauge =
+      obs::Registry::Global().GetGauge("eval/examples_per_sec");
+
   EMBSR_CHECK(model != nullptr);
   EvalResult result;
   RankAccumulator acc;
   const size_t n =
       max_examples == 0 ? test.size() : std::min(test.size(), max_examples);
   result.ranks.reserve(n);
+  WallTimer timer;
   for (size_t i = 0; i < n; ++i) {
     const std::vector<float> scores = model->ScoreAll(test[i]);
     const int rank = RankOfTarget(scores, test[i].target);
     acc.Add(rank);
     result.ranks.push_back(rank);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  example_counter->Add(static_cast<int64_t>(n));
+  if (seconds > 0.0) {
+    throughput_gauge->Set(static_cast<double>(n) / seconds);
   }
   result.report = ReportAt(acc, ks);
   return result;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "train/model_zoo.h"
 #include "util/check.h"
 #include "util/env.h"
@@ -25,14 +26,20 @@ ExperimentResult RunExperiment(const std::string& model_name,
   result.model = model_name;
   result.dataset = data.name;
 
-  WallTimer fit_timer;
-  const Status status = model->Fit(data);
-  EMBSR_CHECK_OK(status);
-  result.fit_seconds = fit_timer.ElapsedSeconds();
+  {
+    EMBSR_TRACE_SPAN("experiment/fit");
+    WallTimer fit_timer;
+    const Status status = model->Fit(data);
+    EMBSR_CHECK_OK(status);
+    result.fit_seconds = fit_timer.ElapsedSeconds();
+  }
 
-  WallTimer eval_timer;
-  result.eval = Evaluate(model.get(), data.test, ks, max_test);
-  result.eval_seconds = eval_timer.ElapsedSeconds();
+  {
+    EMBSR_TRACE_SPAN("experiment/eval");
+    WallTimer eval_timer;
+    result.eval = Evaluate(model.get(), data.test, ks, max_test);
+    result.eval_seconds = eval_timer.ElapsedSeconds();
+  }
 
   EMBSR_LOG(Info) << data.name << " / " << model_name
                   << ": fit=" << result.fit_seconds

@@ -1,8 +1,14 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <mutex>
+
+#include "util/env.h"
 
 namespace embsr {
 
@@ -29,6 +35,33 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+void InitLevelFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const std::string raw = GetEnvString("EMBSR_LOG_LEVEL", "");
+    LogLevel level;
+    if (!raw.empty() && ParseLogLevel(raw, &level)) SetLogLevel(level);
+  });
+}
+
+/// "2026-08-06 12:34:56.789" in UTC.
+std::string FormatTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -39,11 +72,39 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int LoggingThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+  InitLevelFromEnvOnce();
+  stream_ << "[" << FormatTimestamp() << " " << LevelName(level) << " tid="
+          << LoggingThreadId() << " " << Basename(file) << ":" << line
           << "] ";
 }
 

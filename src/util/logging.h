@@ -12,9 +12,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warning" (or "warn") / "error"
+/// (case-insensitive). Returns false and leaves `*level` untouched on
+/// unknown input. The initial global level is read from EMBSR_LOG_LEVEL the
+/// first time a message is logged.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+/// Small dense id for the calling thread (0 for the first thread that
+/// logs, 1 for the next, ...). Stable for the thread's lifetime.
+int LoggingThreadId();
+
 namespace internal_logging {
 
-/// Stream-style log sink: collects the message and emits it on destruction.
+/// Stream-style log sink: collects the message and emits it on destruction
+/// prefixed with wall-clock timestamp, level, thread id and file:line, e.g.
+/// `[2026-08-06 12:34:56.789 INFO tid=0 experiment.cc:37] msg`.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -1,0 +1,294 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_logger.h"
+
+namespace embsr {
+namespace obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Structural JSON check: balanced braces/brackets outside of strings, and
+/// strings themselves terminated. Not a full parser, but catches broken
+/// emission (unbalanced scopes, unescaped quotes, trailing garbage).
+bool JsonStructurallyValid(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+// -- JsonWriter ----------------------------------------------------------------
+
+TEST(JsonWriterTest, WritesNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(1);
+  w.Key("b").BeginArray().Number(0.5).String("x").Bool(true).Null().EndArray();
+  w.Key("c").BeginObject().Key("d").String("e").EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[0.5,\"x\",true,null],\"c\":{\"d\":\"e\"}}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginObject().Key("k\"ey").String("line\nbreak\ttab\\slash").EndObject();
+  EXPECT_EQ(w.str(), "{\"k\\\"ey\":\"line\\nbreak\\ttab\\\\slash\"}");
+  EXPECT_TRUE(JsonStructurallyValid(w.str()));
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.BeginArray().Number(std::nan("")).EndArray();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+// -- Metrics -------------------------------------------------------------------
+
+TEST(MetricsTest, CounterIsAtomicUnderConcurrentIncrements) {
+  Counter* c = Registry::Global().GetCounter("test/concurrent_counter");
+  const int64_t before = c->value();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value() - before, int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  Histogram h({1.0, 10.0});
+  h.Observe(0.5);   // <= 1      -> bucket 0
+  h.Observe(1.0);   // == bound  -> bucket 0 (inclusive upper bound)
+  h.Observe(1.5);   // <= 10     -> bucket 1
+  h.Observe(10.0);  // == bound  -> bucket 1
+  h.Observe(10.5);  // > last    -> overflow bucket
+  const std::vector<int64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 23.5);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  Gauge* g = Registry::Global().GetGauge("test/gauge");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_DOUBLE_EQ(g->value(), -2.25);
+}
+
+TEST(MetricsTest, RegistryReturnsStableHandles) {
+  Counter* a = Registry::Global().GetCounter("test/stable");
+  Counter* b = Registry::Global().GetCounter("test/stable");
+  EXPECT_EQ(a, b);
+  Histogram* h1 =
+      Registry::Global().GetHistogram("test/stable_hist", {1.0, 2.0});
+  Histogram* h2 =
+      Registry::Global().GetHistogram("test/stable_hist", {99.0});
+  EXPECT_EQ(h1, h2);  // bounds of the first registration win
+  ASSERT_EQ(h1->bounds().size(), 2u);
+}
+
+TEST(MetricsTest, SnapshotJsonIsValidAndNamesMetrics) {
+  Registry::Global().GetCounter("test/snap_counter")->Add(3);
+  Registry::Global().GetGauge("test/snap_gauge")->Set(0.5);
+  Registry::Global()
+      .GetHistogram("test/snap_hist", {1.0, 2.0})
+      ->Observe(1.5);
+  const std::string json = Registry::Global().SnapshotJson();
+  EXPECT_TRUE(JsonStructurallyValid(json));
+  EXPECT_NE(json.find("\"test/snap_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/snap_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/snap_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// -- Trace ---------------------------------------------------------------------
+
+TEST(TraceTest, DisabledSessionRecordsNothing) {
+  TraceSession& session = TraceSession::Global();
+  ASSERT_FALSE(session.enabled());  // no EMBSR_TRACE in the test env
+  const size_t before = session.event_count();
+  {
+    EMBSR_TRACE_SPAN("test/should_not_appear");
+  }
+  EXPECT_EQ(session.event_count(), before);
+}
+
+TEST(TraceTest, RecordsNestedSpansAcrossThreads) {
+  TraceSession& session = TraceSession::Global();
+  session.Start("");  // in-memory only
+  auto worker = [] {
+    EMBSR_TRACE_SPAN("test/outer");
+    {
+      EMBSR_TRACE_SPAN("test/inner");
+    }
+  };
+  std::thread t1(worker);
+  std::thread t2(worker);
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(session.Stop().ok());
+
+  const std::vector<TraceEvent> events = session.SnapshotEvents();
+  int outer = 0, inner = 0;
+  std::vector<uint32_t> tids;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "test/outer") {
+      ++outer;
+      tids.push_back(e.tid);
+    }
+    if (std::string(e.name) == "test/inner") ++inner;
+  }
+  EXPECT_EQ(outer, 2);
+  EXPECT_EQ(inner, 2);
+  ASSERT_EQ(tids.size(), 2u);
+  EXPECT_NE(tids[0], tids[1]);  // each thread got its own tid
+
+  // Nesting: within a thread the inner span lies inside the outer one.
+  for (const auto& e : events) {
+    if (std::string(e.name) != "test/inner") continue;
+    for (const auto& o : events) {
+      if (std::string(o.name) == "test/outer" && o.tid == e.tid) {
+        EXPECT_GE(e.ts_us, o.ts_us);
+        EXPECT_LE(e.ts_us + e.dur_us, o.ts_us + o.dur_us);
+      }
+    }
+  }
+}
+
+TEST(TraceTest, ExportsValidChromeTraceJson) {
+  const std::string path = testing::TempDir() + "/embsr_trace_test.json";
+  std::remove(path.c_str());
+  TraceSession& session = TraceSession::Global();
+  session.Start(path);
+  {
+    EMBSR_TRACE_SPAN("test/export_a");
+    EMBSR_TRACE_SPAN("test/export_b");
+  }
+  ASSERT_TRUE(session.Stop().ok());
+
+  const std::string json = ReadFile(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(JsonStructurallyValid(json));
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/export_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/export_b\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, TimedSpanFeedsHistogramWhileTracing) {
+  Histogram* h = Registry::Global().GetHistogram("test/timed_span_ms",
+                                                 DefaultLatencyBucketsMs());
+  const int64_t before = h->count();
+  TraceSession& session = TraceSession::Global();
+  session.Start("");
+  {
+    ScopedSpan span("test/timed", h);
+  }
+  ASSERT_TRUE(session.Stop().ok());
+  EXPECT_EQ(h->count(), before + 1);
+}
+
+// -- RunLogger -----------------------------------------------------------------
+
+TEST(RunLoggerTest, WritesOneJsonLinePerEpoch) {
+  const std::string path = testing::TempDir() + "/embsr_runlog_test.jsonl";
+  std::remove(path.c_str());
+  {
+    RunLogger logger(path);
+    ASSERT_TRUE(logger.ok());
+    for (int epoch = 1; epoch <= 3; ++epoch) {
+      EpochRecord rec;
+      rec.model = "m";
+      rec.dataset = "d";
+      rec.epoch = epoch;
+      rec.total_epochs = 3;
+      rec.loss = 1.0 / epoch;
+      rec.grad_norm = 0.5;
+      rec.wall_seconds = 0.01;
+      rec.examples_per_sec = 100.0;
+      rec.lr = 0.005;
+      if (epoch == 2) rec.valid_mrr = 42.0;
+      logger.LogEpoch(rec);
+    }
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(JsonStructurallyValid(line));
+    EXPECT_NE(line.find("\"model\":\"m\""), std::string::npos);
+    EXPECT_NE(line.find("\"epoch\":" + std::to_string(lines)),
+              std::string::npos);
+    EXPECT_NE(line.find("\"grad_norm\":"), std::string::npos);
+    EXPECT_NE(line.find("\"examples_per_sec\":"), std::string::npos);
+    if (lines == 2) {
+      EXPECT_NE(line.find("\"valid_mrr\":42"), std::string::npos);
+    } else {
+      EXPECT_EQ(line.find("\"valid_mrr\""), std::string::npos);
+    }
+  }
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace embsr

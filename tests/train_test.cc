@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "datagen/generator.h"
+#include "obs/run_logger.h"
 #include "util/check.h"
 #include "models/baselines_nonneural.h"
 #include "train/model_zoo.h"
@@ -100,6 +104,51 @@ TEST(ExperimentTest, BenchTrainConfigHonorsScale) {
   unsetenv("EMBSR_BENCH_SCALE");
   EXPECT_LE(small.epochs, full.epochs);
   EXPECT_GT(small.max_train_examples, 0);
+}
+
+TEST(RunLoggerTest, EmitsOneJsonlRecordPerEpoch) {
+  const std::string path = testing::TempDir() + "/embsr_train_runlog.jsonl";
+  std::remove(path.c_str());
+  setenv("EMBSR_RUN_LOG", path.c_str(), 1);
+  obs::RunLogger::ReinitGlobalFromEnv();
+
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.embedding_dim = 8;
+  cfg.max_train_examples = 20;
+  cfg.validate_every = 0;
+  // One neural baseline and EMBSR itself both feed the run log.
+  RunExperiment("STAMP", SmallData(), cfg, {20}, 5);
+  RunExperiment("EMBSR", SmallData(), cfg, {20}, 5);
+
+  unsetenv("EMBSR_RUN_LOG");
+  obs::RunLogger::ReinitGlobalFromEnv();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int stamp_lines = 0, embsr_lines = 0;
+  int expected_epoch = 1;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    const bool is_stamp = line.find("\"model\":\"STAMP\"") != std::string::npos;
+    const bool is_embsr = line.find("\"model\":\"EMBSR\"") != std::string::npos;
+    ASSERT_TRUE(is_stamp || is_embsr) << line;
+    stamp_lines += is_stamp;
+    embsr_lines += is_embsr;
+    EXPECT_NE(line.find("\"epoch\":" + std::to_string(expected_epoch)),
+              std::string::npos)
+        << line;
+    expected_epoch = expected_epoch == cfg.epochs ? 1 : expected_epoch + 1;
+    EXPECT_NE(line.find("\"loss\":"), std::string::npos);
+    EXPECT_NE(line.find("\"grad_norm\":"), std::string::npos);
+    EXPECT_NE(line.find("\"wall_seconds\":"), std::string::npos);
+    EXPECT_NE(line.find("\"examples_per_sec\":"), std::string::npos);
+  }
+  EXPECT_EQ(stamp_lines, cfg.epochs);
+  EXPECT_EQ(embsr_lines, cfg.epochs);
+  std::remove(path.c_str());
 }
 
 TEST(ExperimentTest, WilcoxonOnModelPairIsComputable) {
