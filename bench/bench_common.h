@@ -70,8 +70,10 @@ inline void PrintHeader(const char* experiment, const char* paper_ref,
 
 /// Machine-readable sidecar of a bench run. Collects experiment results and
 /// named scalars while the bench prints its human table, then writes
-/// `BENCH_<name>.json` (schema v1: workload scale, wall time, results,
-/// scalars, metrics snapshot) on destruction. The destination directory is
+/// `BENCH_<name>.json` (schema v2: workload scale, wall time, results with
+/// per-cell status ok|failed, scalars, metrics snapshot) on destruction.
+/// Failed sweep cells are recorded with their error instead of aborting the
+/// report — graceful degradation. The destination directory is
 /// the working directory, overridable with EMBSR_BENCH_JSON_DIR; the file
 /// is what scripts/check_bench_json.py validates and what the perf
 /// trajectory accumulates from.
@@ -104,7 +106,7 @@ class BenchReport {
     written_ = true;
     obs::JsonWriter w;
     w.BeginObject();
-    w.Key("schema_version").Int(1);
+    w.Key("schema_version").Int(2);
     w.Key("bench").String(name_);
     w.Key("workload").BeginObject();
     w.Key("bench_scale").Number(BenchScale());
@@ -116,6 +118,8 @@ class BenchReport {
       w.BeginObject();
       w.Key("model").String(r.model);
       w.Key("dataset").String(r.dataset);
+      w.Key("status").String(r.ok ? "ok" : "failed");
+      if (!r.ok) w.Key("error").String(r.error);
       w.Key("fit_seconds").Number(r.fit_seconds);
       w.Key("eval_seconds").Number(r.eval_seconds);
       w.Key("hit").BeginObject();

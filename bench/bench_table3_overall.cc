@@ -33,12 +33,19 @@ int main() {
     report.AddResults(results);
 
     // Improvement of EMBSR over the best baseline per metric, as in the
-    // paper's "Imp." column.
+    // paper's "Imp." column. Failed cells are skipped: they carry no
+    // metrics, and the sweep already recorded them as failures.
     const ExperimentResult& embsr_res = results.back();
+    if (!embsr_res.ok) {
+      std::printf("  EMBSR cell failed (%s); skipping Imp./Wilcoxon block\n\n",
+                  embsr_res.error.c_str());
+      continue;
+    }
     for (int k : ks) {
       double best_base_h = 0.0, best_base_m = 0.0;
       std::string best_h_name, best_m_name;
       for (size_t i = 0; i + 1 < results.size(); ++i) {
+        if (!results[i].ok) continue;
         if (results[i].eval.report.hit.at(k) > best_base_h) {
           best_base_h = results[i].eval.report.hit.at(k);
           best_h_name = results[i].model;
@@ -61,12 +68,18 @@ int main() {
     }
 
     // Wilcoxon signed-rank test of EMBSR vs the strongest baseline by M@20.
-    size_t best_idx = 0;
-    for (size_t i = 1; i + 1 < results.size(); ++i) {
-      if (results[i].eval.report.mrr.at(20) >
-          results[best_idx].eval.report.mrr.at(20)) {
+    size_t best_idx = results.size();
+    for (size_t i = 0; i + 1 < results.size(); ++i) {
+      if (!results[i].ok) continue;
+      if (best_idx == results.size() ||
+          results[i].eval.report.mrr.at(20) >
+              results[best_idx].eval.report.mrr.at(20)) {
         best_idx = i;
       }
+    }
+    if (best_idx == results.size()) {
+      std::printf("  every baseline cell failed; skipping Wilcoxon test\n\n");
+      continue;
     }
     const double p = WilcoxonSignedRankP(
         embsr_res.eval.ReciprocalRanksAt(20),

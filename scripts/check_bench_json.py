@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json sidecar files against the schema (v1).
+"""Validate BENCH_<name>.json sidecar files against the schema (v2).
 
 Every bench binary in this repo writes a machine-readable report next to its
 human-readable table (see BenchReport in bench/bench_common.h). This script
@@ -22,11 +22,12 @@ import subprocess
 import sys
 import tempfile
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 RESULT_KEYS = {
     "model": str,
     "dataset": str,
+    "status": str,
     "fit_seconds": (int, float),
     "eval_seconds": (int, float),
     "hit": dict,
@@ -99,6 +100,25 @@ def check_report(path, errors):
                 _err(errors, path,
                      f"results[{i}].{key} has wrong type "
                      f"({type(r[key]).__name__})")
+        status = r.get("status")
+        if isinstance(status, str) and status not in ("ok", "failed"):
+            _err(errors, path,
+                 f"results[{i}].status must be 'ok' or 'failed', "
+                 f"got {status!r}")
+        if status == "failed":
+            # A failed cell carries an error string and may have empty
+            # hit/mrr maps; an ok cell must actually report metrics.
+            if not isinstance(r.get("error"), str) or not r.get("error"):
+                _err(errors, path,
+                     f"results[{i}] is failed but has no 'error' string")
+        elif status == "ok":
+            if "error" in r:
+                _err(errors, path,
+                     f"results[{i}] is ok but carries an 'error'")
+            for cutoffs in ("hit", "mrr"):
+                if isinstance(r.get(cutoffs), dict) and not r[cutoffs]:
+                    _err(errors, path,
+                         f"results[{i}].{cutoffs} is empty on an ok cell")
         for cutoffs in ("hit", "mrr"):
             if isinstance(r.get(cutoffs), dict):
                 _check_number_map(errors, path, r[cutoffs],

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build the test suite with ASan+UBSan (EMBSR_SANITIZE=ON) in a dedicated
+# build directory and run ctest. Any sanitizer report aborts the offending
+# test (-fno-sanitize-recover=all), so a green run means no detected memory
+# or UB issues on the paths the tests exercise.
+#
+# Usage: scripts/run_sanitized_tests.sh [ctest args...]
+#   e.g. scripts/run_sanitized_tests.sh -R robust
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${EMBSR_SAN_BUILD_DIR:-$repo_root/build-asan}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DEMBSR_SANITIZE=ON
+cmake --build "$build_dir" -j "$jobs"
+
+# halt_on_error pairs with -fno-sanitize-recover: first report kills the
+# test. detect_leaks stays on by default where LeakSanitizer is available.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+cd "$build_dir"
+ctest --output-on-failure "$@"

@@ -1,15 +1,20 @@
 #include "data/io.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
+#include "robust/failpoint.h"
 #include "util/string_util.h"
 
 namespace embsr {
 
 Status WriteSessionsCsv(const std::vector<Session>& sessions,
                         const std::string& path) {
+  if (robust::Failpoints::Global().ShouldFail("io.write")) {
+    return robust::InjectedFailure("io.write", "write to '" + path + "'");
+  }
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     return Status::Internal("cannot open '" + path + "' for writing");
@@ -26,6 +31,9 @@ Status WriteSessionsCsv(const std::vector<Session>& sessions,
 }
 
 Result<std::vector<Session>> ReadSessionsCsv(const std::string& path) {
+  if (robust::Failpoints::Global().ShouldFail("io.read")) {
+    return robust::InjectedFailure("io.read", "read of '" + path + "'");
+  }
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::NotFound("cannot open '" + path + "'");
@@ -34,6 +42,8 @@ Result<std::vector<Session>> ReadSessionsCsv(const std::string& path) {
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("empty file '" + path + "'");
   }
+  // Tolerate CRLF exports: strip one trailing '\r' per line.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
   if (line != "session_id,item_id,operation_id") {
     return Status::InvalidArgument("bad header in '" + path + "': " + line);
   }
@@ -43,6 +53,7 @@ Result<std::vector<Session>> ReadSessionsCsv(const std::string& path) {
   size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     const std::vector<std::string> fields = Split(line, ',');
     if (fields.size() != 3) {
@@ -51,14 +62,21 @@ Result<std::vector<Session>> ReadSessionsCsv(const std::string& path) {
     }
     int64_t values[3] = {0, 0, 0};
     bool numeric = true;
+    bool overflow = false;
     for (int f = 0; f < 3; ++f) {
       char* end = nullptr;
+      errno = 0;
       values[f] = std::strtoll(fields[f].c_str(), &end, 10);
       numeric = numeric && end != fields[f].c_str() && *end == '\0';
+      overflow = overflow || errno == ERANGE;
     }
     if (!numeric) {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": non-numeric field");
+    }
+    if (overflow) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": id out of int64 range");
     }
     const int64_t sid = values[0], item = values[1], op = values[2];
     if (sid < 0 || item < 0 || op < 0) {

@@ -25,7 +25,9 @@ Status WriteSessionsCsv(const std::vector<Session>& sessions,
                         const std::string& path);
 
 /// Reads sessions from `path`. Fails with InvalidArgument on malformed
-/// rows, negative ids, or a missing header.
+/// rows, negative or out-of-range ids, or a missing header — never aborts
+/// on bad input. CRLF line endings are tolerated. The `io.read` failpoint
+/// injects a read failure here (see robust/failpoint.h).
 Result<std::vector<Session>> ReadSessionsCsv(const std::string& path);
 
 }  // namespace embsr

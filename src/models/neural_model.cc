@@ -1,17 +1,43 @@
 #include "models/neural_model.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "data/preprocess.h"
 #include "metrics/metrics.h"
 #include "obs/run_logger.h"
 #include "obs/trace.h"
 #include "optim/optimizer.h"
+#include "robust/ckpt_manager.h"
+#include "robust/failpoint.h"
+#include "robust/health.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace embsr {
+
+namespace {
+
+// Salts for the derived RNG streams (see DeriveSeed): the subsample
+// selection and each epoch's visit order depend only on (seed, salt,
+// epoch), never on how much training history preceded them — the property
+// that makes checkpoint resume replay the uninterrupted schedule exactly.
+constexpr uint64_t kSubsampleSalt = 0x5AB5A17ULL;
+constexpr uint64_t kEpochShuffleSalt = 0xE90C45ULL;
+
+bool AllFinite(const std::vector<Tensor>& tensors) {
+  for (const Tensor& t : tensors) {
+    const float* p = t.data();
+    for (int64_t i = 0; i < t.size(); ++i) {
+      if (!std::isfinite(p[i])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 NeuralSessionModel::NeuralSessionModel(std::string name, int64_t num_items,
                                        int64_t num_operations,
@@ -39,7 +65,8 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
   for (const auto& ex : data.train) train.push_back(&ex);
   if (cfg_.max_train_examples > 0 &&
       static_cast<int>(train.size()) > cfg_.max_train_examples) {
-    rng_.Shuffle(&train);
+    Rng subsample_rng(DeriveSeed(cfg_.seed, kSubsampleSalt));
+    subsample_rng.Shuffle(&train);
     train.resize(cfg_.max_train_examples);
   }
 
@@ -52,6 +79,11 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
   double best_mrr = -1.0;
   std::vector<Tensor> best_params;
 
+  robust::HealthGuard guard;
+  robust::CheckpointManager ckpt(robust::CheckpointManagerConfig::FromEnv(),
+                                 name_ + "-" + data.name);
+  auto& failpoints = robust::Failpoints::Global();
+
   obs::RunLogger* run_log = obs::RunLogger::Global();
   static obs::Gauge* loss_gauge =
       obs::Registry::Global().GetGauge("train/loss");
@@ -59,42 +91,124 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
       obs::Registry::Global().GetGauge("train/examples_per_sec");
   static obs::Counter* epoch_counter =
       obs::Registry::Global().GetCounter("train/epochs");
+  static obs::Counter* skipped_counter =
+      obs::Registry::Global().GetCounter("robust/skipped_batches");
+  static obs::Counter* resume_counter =
+      obs::Registry::Global().GetCounter("robust/resumes");
 
-  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+  // Resume: pick up the newest loadable checkpoint of this (model, dataset)
+  // run. Weights, optimizer moments, RNG stream, best-validation snapshot
+  // and epoch counter all restore, so the continued run is bit-for-bit the
+  // uninterrupted one.
+  int start_epoch = 0;
+  if (ckpt.enabled()) {
+    nn::TrainState st;
+    const Status s = ckpt.LoadLatest(this, &st);
+    if (s.ok()) {
+      const Status imp = opt.ImportState(st.opt_scalars, st.opt_slots);
+      if (imp.ok()) {
+        rng_.RestoreState(st.rng);
+        start_epoch = st.epoch;
+        best_mrr = st.best_mrr;
+        best_params = std::move(st.best_params);
+        resume_counter->Increment();
+        EMBSR_LOG(Info) << name_ << "/" << data.name << ": resuming from "
+                        << start_epoch << " completed epoch(s)";
+      } else {
+        EMBSR_LOG(Warning) << "checkpoint optimizer state rejected ("
+                           << imp.ToString() << "); training from scratch";
+      }
+    } else if (s.code() != StatusCode::kNotFound) {
+      EMBSR_LOG(Warning) << "checkpoint resume failed (" << s.ToString()
+                         << "); training from scratch";
+    }
+  }
+
+  // Last-known-good state for health-guard rollbacks, refreshed at every
+  // epoch boundary whose parameters are all finite. Kept in memory so
+  // rollback works even with checkpointing disabled.
+  std::vector<Tensor> good_params = SnapshotParameters();
+  std::vector<double> good_opt_scalars;
+  std::vector<Tensor> good_opt_slots;
+  opt.ExportState(&good_opt_scalars, &good_opt_slots);
+  RngState good_rng = rng_.SaveState();
+
+  for (int epoch = start_epoch; epoch < cfg_.epochs; ++epoch) {
     EMBSR_TRACE_SPAN("train/epoch");
     WallTimer timer;
     SetTraining(true);
-    opt.set_lr(schedule.LrForEpoch(epoch));
-    rng_.Shuffle(&train);
+    const float epoch_lr = schedule.LrForEpoch(epoch);
+    // Visit order is a pure function of (seed, epoch): iota + shuffle from
+    // a derived stream, independent of rng_ and of previous epochs.
+    std::vector<const Example*> order = train;
+    Rng shuffle_rng(DeriveSeed(cfg_.seed, kEpochShuffleSalt + epoch));
+    shuffle_rng.Shuffle(&order);
+
     double epoch_loss = 0.0;
     double grad_norm_sum = 0.0;
     int64_t steps = 0;
     int64_t batches = 0;
+    int64_t skipped = 0;
 
-    for (size_t begin = 0; begin < train.size();
+    for (size_t begin = 0; begin < order.size();
          begin += cfg_.batch_size) {
       const size_t end =
-          std::min(begin + cfg_.batch_size, train.size());
+          std::min(begin + cfg_.batch_size, order.size());
       opt.ZeroGrad();
+      double batch_loss = 0.0;
       for (size_t i = begin; i < end; ++i) {
-        const Example& ex = *train[i];
+        const Example& ex = *order[i];
         ag::Variable logits = Logits(ex);
         ag::Variable loss =
             ag::SoftmaxCrossEntropy(logits, {ex.target});
-        epoch_loss += loss.value().at(0);
+        batch_loss += loss.value().at(0);
         // Scale so accumulated gradients equal the batch-mean gradient.
         ag::Scale(loss, inv_batch).Backward();
-        ++steps;
       }
-      if (cfg_.clip_norm > 0.0f) {
-        grad_norm_sum += optim::ClipGradNorm(Parameters(), cfg_.clip_norm);
-      } else if (run_log != nullptr) {
-        // The extra parameter sweep is only paid when telemetry asked for
-        // it; clipping already measures the norm as a side effect above.
-        grad_norm_sum += optim::GlobalGradNorm(Parameters());
+      const int64_t batch_examples = static_cast<int64_t>(end - begin);
+
+      if (failpoints.ShouldFail("train.nan_grad")) {
+        // Poison the accumulated gradient of the first parameter, the way
+        // a real fp32 overflow in backward would.
+        auto params = Parameters();
+        if (!params.empty()) {
+          Tensor poison(params[0].value().shape(),
+                        std::numeric_limits<float>::quiet_NaN());
+          params[0].node()->AccumulateGrad(poison);
+        }
       }
-      ++batches;
-      opt.Step();
+
+      const float grad_norm =
+          cfg_.clip_norm > 0.0f
+              ? optim::ClipGradNorm(Parameters(), cfg_.clip_norm)
+              : optim::GlobalGradNorm(Parameters());
+
+      const robust::BatchVerdict verdict = guard.CheckBatch(
+          batch_loss / static_cast<double>(batch_examples), grad_norm);
+      if (verdict == robust::BatchVerdict::kOk) {
+        epoch_loss += batch_loss;
+        grad_norm_sum += grad_norm;
+        steps += batch_examples;
+        ++batches;
+        opt.set_lr(epoch_lr * static_cast<float>(guard.lr_scale()));
+        opt.Step();
+        continue;
+      }
+      ++skipped;
+      skipped_counter->Increment();
+      if (verdict == robust::BatchVerdict::kRollback) {
+        // Skipping can only cure a bad *batch*; after max_strikes
+        // consecutive failures the parameters themselves are suspect, so
+        // restore the last good state (weights + moments + RNG).
+        EMBSR_LOG(Warning)
+            << name_ << " epoch " << epoch + 1 << ": " << guard.strikes()
+            << " consecutive unhealthy batches, rolling back to last good "
+               "state (lr scale " << guard.lr_scale() << ")";
+        RestoreParameters(good_params);
+        EMBSR_CHECK_OK(opt.ImportState(good_opt_scalars, good_opt_slots));
+        rng_.RestoreState(good_rng);
+        guard.NotifyRollback();
+      }
     }
 
     const double epoch_seconds = timer.ElapsedSeconds();
@@ -127,6 +241,29 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
       }
     }
 
+    std::vector<Tensor> epoch_snapshot = SnapshotParameters();
+    if (AllFinite(epoch_snapshot)) {
+      good_params = std::move(epoch_snapshot);
+      opt.ExportState(&good_opt_scalars, &good_opt_slots);
+      good_rng = rng_.SaveState();
+    }
+
+    if (ckpt.ShouldSaveAfterEpoch(epoch + 1, cfg_.epochs)) {
+      nn::TrainState st;
+      st.epoch = epoch + 1;
+      st.best_mrr = best_mrr;
+      st.best_params = best_params;
+      st.rng = rng_.SaveState();
+      opt.ExportState(&st.opt_scalars, &st.opt_slots);
+      const Status cs = ckpt.Save(*this, st);
+      if (!cs.ok()) {
+        // A failed checkpoint must not kill training: log it, keep the
+        // previous checkpoints, and continue. Counted by the manager.
+        EMBSR_LOG(Warning) << name_ << " epoch " << epoch + 1
+                           << ": checkpoint save failed: " << cs.ToString();
+      }
+    }
+
     if (run_log != nullptr) {
       obs::EpochRecord rec;
       rec.model = name_;
@@ -139,7 +276,14 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
       rec.examples_per_sec = examples_per_sec;
       rec.lr = opt.lr();
       rec.valid_mrr = valid_mrr;
+      rec.skipped_batches = skipped;
       run_log->LogEpoch(rec);
+    }
+
+    if (failpoints.ShouldFail("train.crash")) {
+      return robust::InjectedFailure(
+          "train.crash", "simulated crash after epoch " +
+                             std::to_string(epoch + 1) + " of " + name_);
     }
   }
 

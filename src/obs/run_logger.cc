@@ -43,6 +43,9 @@ void RunLogger::LogEpoch(const EpochRecord& rec) {
   w.Key("examples_per_sec").Number(rec.examples_per_sec);
   w.Key("lr").Number(rec.lr);
   if (rec.valid_mrr >= 0.0) w.Key("valid_mrr").Number(rec.valid_mrr);
+  if (rec.skipped_batches > 0) {
+    w.Key("skipped_batches").Int(rec.skipped_batches);
+  }
   w.EndObject();
 
   std::lock_guard<std::mutex> lock(mu_);

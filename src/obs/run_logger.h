@@ -1,6 +1,7 @@
 #ifndef EMBSR_OBS_RUN_LOGGER_H_
 #define EMBSR_OBS_RUN_LOGGER_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -22,6 +23,9 @@ struct EpochRecord {
   /// MRR@20 on the validation split when this epoch validated; < 0 → the
   /// field is omitted from the record.
   double valid_mrr = -1.0;
+  /// Batches the numerical health guard discarded (NaN/Inf loss, exploding
+  /// gradient) this epoch; see robust::HealthGuard.
+  int64_t skipped_batches = 0;
 };
 
 /// Append-only JSONL training log: one self-contained JSON object per

@@ -11,6 +11,44 @@ void Optimizer::ZeroGrad() {
   for (auto& p : params_) p.ZeroGrad();
 }
 
+void Optimizer::ExportState(std::vector<double>* scalars,
+                            std::vector<Tensor>* slots) const {
+  scalars->clear();
+  slots->clear();
+}
+
+Status Optimizer::ImportState(const std::vector<double>& scalars,
+                              const std::vector<Tensor>& slots) {
+  if (!scalars.empty() || !slots.empty()) {
+    return Status::FailedPrecondition(
+        "stateless optimizer given non-empty state");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Shared by Sgd/Adam imports: checks a slot list against the live buffers
+/// before any mutation so a failed import leaves the optimizer untouched.
+Status CheckSlots(const std::vector<Tensor>& slots, size_t offset,
+                  const std::vector<Tensor>& expected, const char* what) {
+  if (slots.size() < offset + expected.size()) {
+    return Status::FailedPrecondition(std::string("optimizer state has too "
+                                                  "few slots for ") +
+                                      what);
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (slots[offset + i].shape() != expected[i].shape()) {
+      return Status::FailedPrecondition(
+          std::string("optimizer slot shape mismatch in ") + what +
+          " at index " + std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Sgd::Sgd(std::vector<ag::Variable> params, float lr, float momentum)
     : Optimizer(std::move(params)), momentum_(momentum) {
   lr_ = lr;
@@ -34,6 +72,23 @@ void Sgd::Step() {
     }
     p.mutable_value().SubInPlace(Scale(g, lr_));
   }
+}
+
+void Sgd::ExportState(std::vector<double>* scalars,
+                      std::vector<Tensor>* slots) const {
+  scalars->clear();
+  *slots = velocity_;
+}
+
+Status Sgd::ImportState(const std::vector<double>& scalars,
+                        const std::vector<Tensor>& slots) {
+  if (!scalars.empty() || slots.size() != velocity_.size()) {
+    return Status::FailedPrecondition("SGD state layout mismatch");
+  }
+  Status s = CheckSlots(slots, 0, velocity_, "SGD velocity");
+  if (!s.ok()) return s;
+  velocity_ = slots;
+  return Status::OK();
 }
 
 Adam::Adam(std::vector<ag::Variable> params, float lr, float beta1,
@@ -75,6 +130,30 @@ void Adam::Step() {
       pw[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::ExportState(std::vector<double>* scalars,
+                       std::vector<Tensor>* slots) const {
+  scalars->assign({static_cast<double>(t_)});
+  slots->clear();
+  slots->reserve(m_.size() + v_.size());
+  for (const auto& t : m_) slots->push_back(t);
+  for (const auto& t : v_) slots->push_back(t);
+}
+
+Status Adam::ImportState(const std::vector<double>& scalars,
+                         const std::vector<Tensor>& slots) {
+  if (scalars.size() != 1 || slots.size() != m_.size() + v_.size()) {
+    return Status::FailedPrecondition("Adam state layout mismatch");
+  }
+  Status s = CheckSlots(slots, 0, m_, "Adam first moment");
+  if (!s.ok()) return s;
+  s = CheckSlots(slots, m_.size(), v_, "Adam second moment");
+  if (!s.ok()) return s;
+  t_ = static_cast<int64_t>(scalars[0]);
+  for (size_t i = 0; i < m_.size(); ++i) m_[i] = slots[i];
+  for (size_t i = 0; i < v_.size(); ++i) v_[i] = slots[m_.size() + i];
+  return Status::OK();
 }
 
 float GlobalGradNorm(const std::vector<ag::Variable>& params) {

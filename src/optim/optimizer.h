@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "util/status.h"
 
 namespace embsr {
 namespace optim {
@@ -25,6 +26,19 @@ class Optimizer {
   /// Clears all parameter gradients.
   void ZeroGrad();
 
+  /// Serializes the optimizer's internal state (step counters, moment
+  /// buffers) into an opaque scalar list + tensor list, the shape the
+  /// checkpoint format stores (nn::TrainState). The base implementation
+  /// exports nothing (stateless optimizers).
+  virtual void ExportState(std::vector<double>* scalars,
+                           std::vector<Tensor>* slots) const;
+
+  /// Restores state produced by ExportState of the same optimizer type
+  /// over the same parameter list. FailedPrecondition on count/shape
+  /// mismatch; the optimizer is left untouched on error.
+  virtual Status ImportState(const std::vector<double>& scalars,
+                             const std::vector<Tensor>& slots);
+
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
 
@@ -39,6 +53,10 @@ class Sgd : public Optimizer {
   Sgd(std::vector<ag::Variable> params, float lr, float momentum = 0.0f);
 
   void Step() override;
+  void ExportState(std::vector<double>* scalars,
+                   std::vector<Tensor>* slots) const override;
+  Status ImportState(const std::vector<double>& scalars,
+                     const std::vector<Tensor>& slots) override;
 
  private:
   float momentum_;
@@ -52,6 +70,10 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
 
   void Step() override;
+  void ExportState(std::vector<double>* scalars,
+                   std::vector<Tensor>* slots) const override;
+  Status ImportState(const std::vector<double>& scalars,
+                     const std::vector<Tensor>& slots) override;
 
  private:
   float beta1_, beta2_, eps_, weight_decay_;

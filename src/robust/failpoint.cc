@@ -1,0 +1,169 @@
+#include "robust/failpoint.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace embsr {
+namespace robust {
+
+namespace {
+
+constexpr uint64_t kDefaultSeed = 0xFA11FA11FA11FA11ULL;
+
+/// Parses one `site=prob[xLIMIT][@SKIP]` clause into (site, spec).
+Status ParseClause(const std::string& clause, std::string* site,
+                   FailpointSpec* spec) {
+  const size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint clause '" + clause +
+                                   "' is not site=spec");
+  }
+  *site = clause.substr(0, eq);
+  std::string rest = clause.substr(eq + 1);
+
+  spec->remaining = -1;
+  spec->skip = 0;
+  const size_t at = rest.find('@');
+  if (at != std::string::npos) {
+    char* end = nullptr;
+    spec->skip = std::strtoll(rest.c_str() + at + 1, &end, 10);
+    if (end == rest.c_str() + at + 1 || *end != '\0' || spec->skip < 0) {
+      return Status::InvalidArgument("failpoint '" + *site +
+                                     "': bad @skip in '" + rest + "'");
+    }
+    rest = rest.substr(0, at);
+  }
+  const size_t x = rest.find('x');
+  if (x != std::string::npos) {
+    char* end = nullptr;
+    spec->remaining = std::strtoll(rest.c_str() + x + 1, &end, 10);
+    if (end == rest.c_str() + x + 1 || *end != '\0' || spec->remaining < 0) {
+      return Status::InvalidArgument("failpoint '" + *site +
+                                     "': bad xlimit in '" + rest + "'");
+    }
+    rest = rest.substr(0, x);
+  }
+  char* end = nullptr;
+  spec->probability = std::strtod(rest.c_str(), &end);
+  if (end == rest.c_str() || *end != '\0' || spec->probability < 0.0 ||
+      spec->probability > 1.0) {
+    return Status::InvalidArgument("failpoint '" + *site +
+                                   "': probability '" + rest +
+                                   "' not in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Failpoints::Failpoints()
+    : rng_(static_cast<uint64_t>(GetEnvDouble(
+          "EMBSR_FAILPOINT_SEED", static_cast<double>(kDefaultSeed)))) {}
+
+Failpoints& Failpoints::Global() {
+  static Failpoints* instance = [] {
+    auto* fp = new Failpoints();
+    std::lock_guard<std::mutex> lock(fp->mu_);
+    fp->ConfigureFromEnvLocked();
+    return fp;
+  }();
+  return *instance;
+}
+
+void Failpoints::ConfigureFromEnvLocked() {
+  const std::string spec = GetEnvString("EMBSR_FAILPOINTS", "");
+  if (spec.empty()) return;
+  for (const std::string& clause : Split(spec, ',')) {
+    if (clause.empty()) continue;
+    std::string site;
+    FailpointSpec parsed;
+    const Status s = ParseClause(clause, &site, &parsed);
+    if (!s.ok()) {
+      EMBSR_LOG(Warning) << "ignoring EMBSR_FAILPOINTS clause: "
+                         << s.ToString();
+      continue;
+    }
+    sites_[site] = parsed;
+    EMBSR_LOG(Info) << "failpoint armed: " << site << " p="
+                    << parsed.probability << " limit=" << parsed.remaining
+                    << " skip=" << parsed.skip;
+  }
+}
+
+Status Failpoints::Configure(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& clause : Split(spec, ',')) {
+    if (clause.empty()) continue;
+    std::string site;
+    FailpointSpec parsed;
+    const Status s = ParseClause(clause, &site, &parsed);
+    if (!s.ok()) return s;
+    sites_[site] = parsed;
+  }
+  return Status::OK();
+}
+
+void Failpoints::Set(const std::string& site, double probability,
+                     int64_t limit, int64_t skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_[site] = FailpointSpec{probability, limit, skip};
+}
+
+void Failpoints::Clear(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+  counts_.erase(site);
+}
+
+void Failpoints::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  counts_.clear();
+}
+
+bool Failpoints::ShouldFail(const std::string& site) {
+  static obs::Counter* triggers =
+      obs::Registry::Global().GetCounter("robust/failpoint_triggers");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  FailpointSpec& spec = it->second;
+  if (spec.skip > 0) {
+    --spec.skip;
+    return false;
+  }
+  if (spec.remaining == 0) return false;
+  const bool fire =
+      spec.probability >= 1.0 || rng_.Bernoulli(spec.probability);
+  if (!fire) return false;
+  if (spec.remaining > 0) --spec.remaining;
+  ++counts_[site];
+  triggers->Increment();
+  obs::Registry::Global().GetCounter("robust/failpoint/" + site)->Increment();
+  return true;
+}
+
+int64_t Failpoints::TriggerCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void Failpoints::ReinitFromEnv() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  counts_.clear();
+  ConfigureFromEnvLocked();
+}
+
+Status InjectedFailure(const std::string& site, const std::string& what) {
+  return Status::Internal("failpoint '" + site + "' injected failure: " +
+                          what);
+}
+
+}  // namespace robust
+}  // namespace embsr

@@ -1,0 +1,91 @@
+#ifndef EMBSR_ROBUST_FAILPOINT_H_
+#define EMBSR_ROBUST_FAILPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace embsr {
+namespace robust {
+
+/// Fault injection for tests and chaos runs.
+///
+/// A *failpoint* is a named site in the code (e.g. "ckpt.write") that asks
+/// the registry whether it should fail this time. Sites are armed either
+/// programmatically (Set) or from the environment:
+///
+///   EMBSR_FAILPOINTS="ckpt.write=0.5,io.read=1,train.nan_grad=1x2@3"
+///
+/// Per-site spec grammar: `prob[xLIMIT][@SKIP]` —
+///   prob   trigger probability in [0, 1] (1 = always)
+///   xLIMIT trigger at most LIMIT times, then the site goes quiet
+///   @SKIP  ignore the first SKIP evaluations of the site before arming
+///          (lets a test say "fail the *third* checkpoint write")
+///
+/// Draws come from a dedicated seeded RNG (EMBSR_FAILPOINT_SEED), so
+/// injected chaos is reproducible like everything else in this repo.
+/// Trigger counts are kept per site and mirrored into the obs metrics
+/// registry (`robust/failpoint_triggers` plus `robust/failpoint/<site>`).
+
+/// One armed site.
+struct FailpointSpec {
+  double probability = 0.0;
+  /// Remaining allowed triggers; negative = unlimited.
+  int64_t remaining = -1;
+  /// Evaluations of the site still to be ignored before it can trigger.
+  int64_t skip = 0;
+};
+
+class Failpoints {
+ public:
+  /// The process-wide registry. EMBSR_FAILPOINTS is parsed on first use
+  /// (a malformed spec is logged and ignored so a typo cannot take down a
+  /// production run).
+  static Failpoints& Global();
+
+  /// Parses a spec string (see grammar above) and arms every site in it,
+  /// replacing existing entries for the same sites.
+  Status Configure(const std::string& spec);
+
+  /// Arms one site programmatically.
+  void Set(const std::string& site, double probability, int64_t limit = -1,
+           int64_t skip = 0);
+
+  void Clear(const std::string& site);
+  void ClearAll();
+
+  /// True when `site` should fail now. Decrements limits, honors skips,
+  /// bumps trigger counters. Thread-safe; unarmed sites cost one map
+  /// lookup under a mutex (failpoints sit on cold paths: file writes,
+  /// epoch boundaries — never inner loops).
+  bool ShouldFail(const std::string& site);
+
+  /// How many times `site` has triggered since the last ClearAll/Clear.
+  int64_t TriggerCount(const std::string& site) const;
+
+  /// Drops all sites and re-reads EMBSR_FAILPOINTS. Tests only.
+  void ReinitFromEnv();
+
+ private:
+  Failpoints();
+
+  void ConfigureFromEnvLocked();
+
+  mutable std::mutex mu_;
+  std::map<std::string, FailpointSpec> sites_;
+  std::map<std::string, int64_t> counts_;
+  Rng rng_;
+};
+
+/// Builds the Status an injected failure should surface as; `what` names
+/// the operation from the caller's point of view.
+Status InjectedFailure(const std::string& site, const std::string& what);
+
+}  // namespace robust
+}  // namespace embsr
+
+#endif  // EMBSR_ROBUST_FAILPOINT_H_

@@ -1,0 +1,59 @@
+#include "robust/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "util/env.h"
+
+namespace embsr {
+namespace robust {
+
+HealthConfig HealthConfig::FromEnv() {
+  HealthConfig cfg;
+  cfg.max_strikes = std::max(1, GetEnvInt("EMBSR_HEALTH_MAX_STRIKES", 3));
+  cfg.grad_limit = GetEnvDouble("EMBSR_HEALTH_GRAD_LIMIT", 1e4);
+  cfg.lr_backoff = GetEnvDouble("EMBSR_HEALTH_LR_BACKOFF", 0.5);
+  if (cfg.lr_backoff <= 0.0 || cfg.lr_backoff >= 1.0) cfg.lr_backoff = 0.5;
+  return cfg;
+}
+
+HealthGuard::HealthGuard() : HealthGuard(HealthConfig::FromEnv()) {}
+
+HealthGuard::HealthGuard(const HealthConfig& config) : config_(config) {}
+
+bool HealthGuard::IsUnhealthy(const HealthConfig& config, double loss,
+                              double grad_norm) {
+  if (!std::isfinite(loss) || !std::isfinite(grad_norm)) return true;
+  return config.grad_limit > 0.0 && grad_norm > config.grad_limit;
+}
+
+BatchVerdict HealthGuard::CheckBatch(double loss, double grad_norm) {
+  static obs::Counter* unhealthy =
+      obs::Registry::Global().GetCounter("robust/unhealthy_batches");
+  static obs::Gauge* scale_gauge =
+      obs::Registry::Global().GetGauge("robust/health_lr_scale");
+
+  if (!IsUnhealthy(config_, loss, grad_norm)) {
+    strikes_ = 0;
+    lr_scale_ = std::min(1.0, lr_scale_ / config_.lr_backoff);
+    scale_gauge->Set(lr_scale_);
+    return BatchVerdict::kOk;
+  }
+  unhealthy->Increment();
+  ++strikes_;
+  lr_scale_ = std::max(config_.min_lr_scale, lr_scale_ * config_.lr_backoff);
+  scale_gauge->Set(lr_scale_);
+  return strikes_ >= config_.max_strikes ? BatchVerdict::kRollback
+                                         : BatchVerdict::kSkip;
+}
+
+void HealthGuard::NotifyRollback() {
+  static obs::Counter* rollbacks =
+      obs::Registry::Global().GetCounter("robust/rollbacks");
+  rollbacks->Increment();
+  strikes_ = 0;
+}
+
+}  // namespace robust
+}  // namespace embsr

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/failpoint.h"
 #include "train/model_zoo.h"
 #include "util/check.h"
 #include "util/env.h"
@@ -12,26 +14,51 @@
 
 namespace embsr {
 
+namespace {
+
+/// Stamps `result` as failed and records the degradation in metrics so a
+/// sweep's failure count is visible in telemetry.
+ExperimentResult FailCell(ExperimentResult result, const std::string& why) {
+  result.ok = false;
+  result.error = why;
+  result.eval = EvalResult{};
+  obs::Registry::Global().GetCounter("robust/failed_cells")->Increment();
+  EMBSR_LOG(Warning) << result.dataset << " / " << result.model
+                     << ": cell failed, continuing sweep: " << why;
+  return result;
+}
+
+}  // namespace
+
 ExperimentResult RunExperiment(const std::string& model_name,
                                const ProcessedDataset& data,
                                const TrainConfig& config,
                                const std::vector<int>& ks,
                                size_t max_test) {
-  std::unique_ptr<Recommender> model =
-      CreateModel(model_name, data.num_items, data.num_operations, config);
-  EMBSR_CHECK_MSG(model != nullptr, "unknown model '%s'",
-                  model_name.c_str());
-
   ExperimentResult result;
   result.model = model_name;
   result.dataset = data.name;
+
+  if (robust::Failpoints::Global().ShouldFail("experiment.cell")) {
+    return FailCell(std::move(result),
+                    robust::InjectedFailure("experiment.cell", "cell aborted")
+                        .message());
+  }
+
+  std::unique_ptr<Recommender> model =
+      CreateModel(model_name, data.num_items, data.num_operations, config);
+  if (model == nullptr) {
+    return FailCell(std::move(result), "unknown model '" + model_name + "'");
+  }
 
   {
     EMBSR_TRACE_SPAN("experiment/fit");
     WallTimer fit_timer;
     const Status status = model->Fit(data);
-    EMBSR_CHECK_OK(status);
     result.fit_seconds = fit_timer.ElapsedSeconds();
+    if (!status.ok()) {
+      return FailCell(std::move(result), "fit failed: " + status.message());
+    }
   }
 
   {
@@ -75,6 +102,11 @@ std::string FormatMetricTable(const std::string& dataset,
     std::vector<std::string> hit_row{"H@" + std::to_string(k)};
     std::vector<std::string> mrr_row{"M@" + std::to_string(k)};
     for (const auto& r : results) {
+      if (!r.ok || !r.eval.report.hit.contains(k)) {
+        hit_row.push_back("failed");
+        mrr_row.push_back("failed");
+        continue;
+      }
       hit_row.push_back(FormatDouble(r.eval.report.hit.at(k)));
       mrr_row.push_back(FormatDouble(r.eval.report.mrr.at(k)));
     }

@@ -10,16 +10,22 @@
 namespace embsr {
 
 /// One trained-and-evaluated (model, dataset) cell of a results table.
+/// A cell that failed (unknown model, training error, injected fault) has
+/// `ok == false`, a human-readable `error`, and empty eval metrics; sweeps
+/// keep going past failed cells instead of aborting the whole run.
 struct ExperimentResult {
   std::string model;
   std::string dataset;
   EvalResult eval;
   double fit_seconds = 0.0;
   double eval_seconds = 0.0;
+  bool ok = true;
+  std::string error;
 };
 
 /// Trains `model_name` on `data` and evaluates on the test split at the
-/// given cutoffs. `max_test` of 0 evaluates the whole split.
+/// given cutoffs. `max_test` of 0 evaluates the whole split. Failures are
+/// reported in the returned cell (`ok`/`error`), not by aborting.
 ExperimentResult RunExperiment(const std::string& model_name,
                                const ProcessedDataset& data,
                                const TrainConfig& config,

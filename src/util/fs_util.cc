@@ -1,0 +1,74 @@
+#include "util/fs_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace embsr {
+
+namespace {
+
+std::string Errno() { return std::strerror(errno); }
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return Status::NotFound("cannot open '" + path + "'");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string data(static_cast<size_t>(size), '\0');
+  in.read(data.data(), size);
+  if (!in.good() && size > 0) {
+    return Status::Internal("short read from '" + path + "'");
+  }
+  return data;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open '" + tmp + "' for writing: " +
+                            Errno());
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = Errno();
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal("write to '" + tmp + "' failed: " + err);
+    }
+    off += static_cast<size_t>(n);
+  }
+  // Data must be durable before the rename publishes it, otherwise a crash
+  // can leave a fully-renamed file with missing tail pages.
+  if (::fsync(fd) != 0) {
+    const std::string err = Errno();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("fsync of '" + tmp + "' failed: " + err);
+  }
+  if (::close(fd) != 0) {
+    const std::string err = Errno();
+    ::unlink(tmp.c_str());
+    return Status::Internal("close of '" + tmp + "' failed: " + err);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = Errno();
+    ::unlink(tmp.c_str());
+    return Status::Internal("rename '" + tmp + "' -> '" + path +
+                            "' failed: " + err);
+  }
+  return Status::OK();
+}
+
+}  // namespace embsr

@@ -1,0 +1,23 @@
+#ifndef EMBSR_UTIL_FS_UTIL_H_
+#define EMBSR_UTIL_FS_UTIL_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace embsr {
+
+/// Reads the whole file at `path` into a string. NotFound when the file
+/// cannot be opened, Internal on a short read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-safe whole-file write: the data is written to a temporary file in
+/// the same directory, flushed and fsync'd, then atomically renamed over
+/// `path`. Readers therefore never observe a half-written file — after a
+/// crash either the old file or the complete new file exists. The temporary
+/// is removed on any failure.
+Status AtomicWriteFile(const std::string& path, const std::string& data);
+
+}  // namespace embsr
+
+#endif  // EMBSR_UTIL_FS_UTIL_H_

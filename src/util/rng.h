@@ -8,12 +8,25 @@
 
 namespace embsr {
 
+/// Complete serializable generator state: the xoshiro words plus the
+/// Box-Muller carry. Restoring it reproduces the stream bit-for-bit, which
+/// is what makes checkpointed training exactly resumable.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded via
 /// splitmix64). One instance per logical stream; never shared across threads.
 /// All experiments in this repo are seeded, so runs are reproducible.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Snapshots / restores the full generator state (see RngState).
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
   /// Uniform 64-bit word.
   uint64_t NextU64();
@@ -61,6 +74,13 @@ class Rng {
 
 /// Builds Zipf-distributed weights: weight[i] ~ 1 / (i+1)^alpha.
 std::vector<double> ZipfWeights(size_t n, double alpha);
+
+/// Derives an independent stream seed from (seed, salt) via splitmix64
+/// mixing. Used to give each training epoch its own shuffle stream so the
+/// visit order of epoch E depends only on (config seed, E) — never on how
+/// many epochs ran before it — which is what lets a resumed run replay the
+/// exact schedule of an uninterrupted one.
+uint64_t DeriveSeed(uint64_t seed, uint64_t salt);
 
 }  // namespace embsr
 

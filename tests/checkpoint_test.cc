@@ -1,17 +1,58 @@
 #include "nn/checkpoint.h"
 
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
 #include "core/embsr_model.h"
 #include "nn/layers.h"
+#include "robust/failpoint.h"
+#include "util/check.h"
+#include "util/fs_util.h"
 
 namespace embsr {
 namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  auto r = ReadFileToString(path);
+  EMBSR_CHECK_OK(r.status());
+  return std::move(r).value();
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Hand-writes a format-v1 checkpoint (no flags word, no CRC) for `module`,
+/// byte-identical to what the pre-v2 code produced.
+std::string SerializeV1(const nn::Module& module) {
+  std::string buf;
+  buf.append("EMBSRCKP", 8);
+  AppendPod(&buf, static_cast<uint32_t>(1));  // version
+  const auto params = module.NamedParameters();
+  AppendPod(&buf, static_cast<uint32_t>(params.size()));
+  for (const auto& np : params) {
+    AppendPod(&buf, static_cast<uint32_t>(np.name.size()));
+    buf.append(np.name);
+    const Tensor& t = np.variable.value();
+    AppendPod(&buf, static_cast<uint32_t>(t.ndim()));
+    for (int64_t d : t.shape()) AppendPod(&buf, d);
+    buf.append(reinterpret_cast<const char*>(t.data()),
+               sizeof(float) * static_cast<size_t>(t.size()));
+  }
+  return buf;
 }
 
 TEST(CheckpointTest, RoundTripRestoresExactWeights) {
@@ -113,6 +154,149 @@ TEST(CheckpointTest, NullModuleIsInvalidArgument) {
   Status s = nn::LoadCheckpoint(TempPath("x.ckpt"), nullptr);
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, LegacyV1FileStillLoads) {
+  Rng rng(7);
+  nn::Linear a(3, 2, &rng);
+  nn::Linear b(3, 2, &rng);  // different init
+  const std::string path = TempPath("legacy.ckpt");
+  WriteAll(path, SerializeV1(a));
+  ASSERT_TRUE(nn::LoadCheckpoint(path, &b).ok());
+  const auto pa = a.NamedParameters();
+  const auto pb = b.NamedParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].variable.value().AllClose(pb[i].variable.value(), 0.0f))
+        << pa[i].name;
+  }
+}
+
+TEST(CheckpointTest, LoadingStateFromV1IsFailedPrecondition) {
+  Rng rng(8);
+  nn::Linear a(2, 2, &rng);
+  const std::string path = TempPath("legacy_state.ckpt");
+  WriteAll(path, SerializeV1(a));
+  nn::TrainState state;
+  Status s = nn::LoadCheckpoint(path, &a, &state);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, TrainStateRoundTripsExactly) {
+  Rng rng(9);
+  nn::Linear a(4, 3, &rng);
+  nn::Linear b(4, 3, &rng);
+
+  nn::TrainState in;
+  in.epoch = 5;
+  in.best_mrr = 0.4375;
+  in.best_params.emplace_back(std::vector<int64_t>{2, 3}, 1.5f);
+  Rng stream(123);
+  for (int i = 0; i < 17; ++i) stream.Uniform();  // advance to a random point
+  stream.Normal();  // populate the Box-Muller cache
+  in.rng = stream.SaveState();
+  in.opt_scalars = {3.0, 0.125};
+  in.opt_slots.emplace_back(std::vector<int64_t>{4, 3}, 0.25f);
+  in.opt_slots.emplace_back(std::vector<int64_t>{3}, -2.0f);
+
+  const std::string path = TempPath("state.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(a, in, path).ok());
+  nn::TrainState out;
+  ASSERT_TRUE(nn::LoadCheckpoint(path, &b, &out).ok());
+
+  EXPECT_EQ(out.epoch, in.epoch);
+  EXPECT_EQ(out.best_mrr, in.best_mrr);
+  ASSERT_EQ(out.best_params.size(), 1u);
+  EXPECT_TRUE(out.best_params[0].AllClose(in.best_params[0], 0.0f));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out.rng.s[i], in.rng.s[i]);
+  EXPECT_EQ(out.rng.has_cached_normal, in.rng.has_cached_normal);
+  EXPECT_EQ(out.rng.cached_normal, in.rng.cached_normal);
+  EXPECT_EQ(out.opt_scalars, in.opt_scalars);
+  ASSERT_EQ(out.opt_slots.size(), 2u);
+  EXPECT_TRUE(out.opt_slots[0].AllClose(in.opt_slots[0], 0.0f));
+  EXPECT_TRUE(out.opt_slots[1].AllClose(in.opt_slots[1], 0.0f));
+
+  // The restored stream continues exactly where the saved one left off.
+  Rng resumed(1);
+  resumed.RestoreState(out.rng);
+  EXPECT_EQ(stream.Uniform(), resumed.Uniform());
+  EXPECT_EQ(stream.Normal(), resumed.Normal());
+}
+
+TEST(CheckpointFuzzTest, TruncationAtEveryLengthIsRejected) {
+  Rng rng(10);
+  nn::Linear lin(2, 2, &rng);
+  const std::string path = TempPath("fuzz_trunc.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(lin, path).ok());
+  const std::string full = ReadAll(path);
+  ASSERT_GT(full.size(), 16u);
+
+  const std::string victim = TempPath("fuzz_trunc_victim.ckpt");
+  for (size_t len = 0; len < full.size(); ++len) {
+    WriteAll(victim, full.substr(0, len));
+    Status s = nn::LoadCheckpoint(victim, &lin);
+    EXPECT_FALSE(s.ok()) << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(CheckpointFuzzTest, EverySingleBitFlipIsDetected) {
+  Rng rng(11);
+  nn::Linear lin(2, 2, &rng);
+  const std::string path = TempPath("fuzz_flip.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(lin, path).ok());
+  const std::string full = ReadAll(path);
+
+  // CRC-32 detects every single-bit error; flips in the magic/version
+  // header fail their own checks first. Either way no flip may load.
+  const std::string victim = TempPath("fuzz_flip_victim.ckpt");
+  for (size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = full;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      WriteAll(victim, mutated);
+      Status s = nn::LoadCheckpoint(victim, &lin);
+      EXPECT_FALSE(s.ok()) << "flip of byte " << byte << " bit " << bit
+                           << " was accepted";
+    }
+  }
+}
+
+TEST(CheckpointFuzzTest, TruncateFailpointIsCaughtByCrc) {
+  auto& fp = robust::Failpoints::Global();
+  fp.ClearAll();
+  fp.Set("ckpt.truncate", 1.0, /*limit=*/1);
+  Rng rng(12);
+  nn::Linear lin(2, 2, &rng);
+  const std::string path = TempPath("torn.ckpt");
+  // The torn write itself reports success — exactly the dangerous case.
+  ASSERT_TRUE(nn::SaveCheckpoint(lin, path).ok());
+  EXPECT_EQ(fp.TriggerCount("ckpt.truncate"), 1);
+  Status s = nn::LoadCheckpoint(path, &lin);
+  ASSERT_FALSE(s.ok());
+  fp.ClearAll();
+}
+
+TEST(CheckpointFuzzTest, WriteAndReadFailpointsInject) {
+  auto& fp = robust::Failpoints::Global();
+  fp.ClearAll();
+  Rng rng(13);
+  nn::Linear lin(2, 2, &rng);
+  const std::string path = TempPath("injected.ckpt");
+
+  fp.Set("ckpt.write", 1.0, /*limit=*/1);
+  Status s = nn::SaveCheckpoint(lin, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("ckpt.write"), std::string::npos);
+
+  ASSERT_TRUE(nn::SaveCheckpoint(lin, path).ok());  // limit exhausted
+  fp.Set("ckpt.read", 1.0, /*limit=*/1);
+  s = nn::LoadCheckpoint(path, &lin);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  ASSERT_TRUE(nn::LoadCheckpoint(path, &lin).ok());
+  fp.ClearAll();
 }
 
 }  // namespace

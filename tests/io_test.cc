@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "datagen/generator.h"
+#include "robust/failpoint.h"
 
 namespace embsr {
 namespace {
@@ -87,6 +88,51 @@ TEST(SessionCsvTest, SkipsBlankLines) {
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r.value().size(), 1u);
   EXPECT_EQ(r.value()[0].events.size(), 2u);
+}
+
+TEST(SessionCsvTest, RejectsOutOfRangeIds) {
+  const std::string path = TempPath("overflow.csv");
+  // 20 digits > int64 max: strtoll saturates with ERANGE, which used to
+  // slip through as a silently clamped id.
+  std::ofstream(path) << "session_id,item_id,operation_id\n"
+                      << "0,99999999999999999999,1\n";
+  auto r = ReadSessionsCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("out of int64 range"),
+            std::string::npos);
+}
+
+TEST(SessionCsvTest, ToleratesCrlfLineEndings) {
+  const std::string path = TempPath("crlf.csv");
+  std::ofstream(path, std::ios::binary)
+      << "session_id,item_id,operation_id\r\n0,1,0\r\n0,2,1\r\n\r\n";
+  auto r = ReadSessionsCsv(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().size(), 1u);
+  ASSERT_EQ(r.value()[0].events.size(), 2u);
+  EXPECT_EQ(r.value()[0].events[1], (MicroBehavior{2, 1}));
+}
+
+TEST(SessionCsvTest, ReadFailpointInjects) {
+  auto& fp = robust::Failpoints::Global();
+  fp.ClearAll();
+  std::vector<Session> sessions(1);
+  sessions[0].events = {{1, 0}};
+  const std::string path = TempPath("failpoint.csv");
+  ASSERT_TRUE(WriteSessionsCsv(sessions, path).ok());
+
+  fp.Set("io.read", 1.0, /*limit=*/1);
+  auto r = ReadSessionsCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r.status().message().find("io.read"), std::string::npos);
+  EXPECT_TRUE(ReadSessionsCsv(path).ok());  // limit exhausted
+
+  fp.Set("io.write", 1.0, /*limit=*/1);
+  EXPECT_FALSE(WriteSessionsCsv(sessions, path).ok());
+  EXPECT_TRUE(WriteSessionsCsv(sessions, path).ok());
+  fp.ClearAll();
 }
 
 }  // namespace
