@@ -1,27 +1,76 @@
 #!/usr/bin/env bash
-# Build the test suite with ASan+UBSan (EMBSR_SANITIZE=ON) in a dedicated
-# build directory and run ctest. Any sanitizer report aborts the offending
-# test (-fno-sanitize-recover=all), so a green run means no detected memory
-# or UB issues on the paths the tests exercise.
+# Sanitizer matrix runner: builds the test suite under one or more sanitizer
+# configs in dedicated build directories and runs ctest for each, teeing
+# per-config logs. A sanitizer report aborts the offending test
+# (-fno-sanitize-recover / halt_on_error), so a green run means no detected
+# issue on the paths the tests exercise.
 #
-# Usage: scripts/run_sanitized_tests.sh [ctest args...]
-#   e.g. scripts/run_sanitized_tests.sh -R robust
+# Usage: scripts/run_sanitized_tests.sh [CONFIG ...] [-- ctest args...]
+#   CONFIG: address | thread | plain   (default: address thread plain)
+#   e.g. scripts/run_sanitized_tests.sh thread -- -R obs_race
+#
+# Build dirs: build-<config> (override root with EMBSR_SAN_BUILD_DIR).
+# Logs: <build dir>/ctest-<config>.log.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${EMBSR_SAN_BUILD_DIR:-$repo_root/build-asan}"
+build_root="${EMBSR_SAN_BUILD_DIR:-$repo_root}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-cmake -B "$build_dir" -S "$repo_root" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DEMBSR_SANITIZE=ON
-cmake --build "$build_dir" -j "$jobs"
+configs=()
+ctest_args=()
+parsing_configs=1
+for arg in "$@"; do
+  if [[ "$arg" == "--" ]]; then
+    parsing_configs=0
+  elif [[ $parsing_configs == 1 ]]; then
+    case "$arg" in
+      address|thread|plain) configs+=("$arg") ;;
+      *) echo "unknown config '$arg' (want address|thread|plain)" >&2
+         exit 2 ;;
+    esac
+  else
+    ctest_args+=("$arg")
+  fi
+done
+if [[ ${#configs[@]} -eq 0 ]]; then
+  configs=(address thread plain)
+fi
 
 # halt_on_error pairs with -fno-sanitize-recover: first report kills the
 # test. detect_leaks stays on by default where LeakSanitizer is available.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
-cd "$build_dir"
-ctest --output-on-failure "$@"
+failed=()
+for config in "${configs[@]}"; do
+  build_dir="$build_root/build-$config"
+  case "$config" in
+    address) sanitize=address ;;
+    thread)  sanitize=thread ;;
+    plain)   sanitize=off ;;
+  esac
+  echo "=== [$config] configuring $build_dir (EMBSR_SANITIZE=$sanitize)"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DEMBSR_SANITIZE="$sanitize"
+  cmake --build "$build_dir" -j "$jobs"
+
+  log="$build_dir/ctest-$config.log"
+  echo "=== [$config] ctest (log: $log)"
+  if (cd "$build_dir" && ctest --output-on-failure \
+        ${ctest_args[@]+"${ctest_args[@]}"} 2>&1 | tee "$log"); then
+    echo "=== [$config] PASS"
+  else
+    echo "=== [$config] FAIL"
+    failed+=("$config")
+  fi
+done
+
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "sanitizer matrix FAILED for: ${failed[*]}"
+  exit 1
+fi
+echo "sanitizer matrix passed for: ${configs[*]}"

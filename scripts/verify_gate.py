@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Static analysis gate, run as the `verify_gate` ctest.
+
+Aggregates the pure-script checks that need no build products:
+  1. scripts/lint.py --self-test   (the lint's own rules still fire)
+  2. scripts/lint.py               (the tree is clean)
+  3. scripts/check_bench_json.py   on every BENCH_*.json checked into the
+     repo (benchmark reports committed as baselines). Zero such files is
+     fine — the bench JSON contract is then exercised by the
+     bench_json_schema test instead, which runs a real bench binary.
+
+Exits non-zero on the first failing stage. Stdlib only.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+
+def run(argv, what):
+    print(f"verify_gate: {what}: {' '.join(argv)}", flush=True)
+    proc = subprocess.run(argv)
+    if proc.returncode != 0:
+        print(f"verify_gate: FAILED at {what}")
+        sys.exit(proc.returncode)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root",
+                        default=os.path.dirname(
+                            os.path.dirname(os.path.abspath(__file__))))
+    args = parser.parse_args()
+    root = os.path.abspath(args.repo_root)
+    scripts = os.path.join(root, "scripts")
+    py = sys.executable
+
+    run([py, os.path.join(scripts, "lint.py"), "--self-test"],
+        "lint self-test")
+    run([py, os.path.join(scripts, "lint.py"), "--repo-root", root], "lint")
+
+    bench_jsons = []
+    for dirpath, dirnames, names in os.walk(root):
+        # Checked-in reports only: generated build trees are not the gate's
+        # business (and contain stale bench output).
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith(("build", ".git"))]
+        bench_jsons.extend(
+            os.path.join(dirpath, n) for n in names
+            if n.startswith("BENCH_") and n.endswith(".json"))
+    if bench_jsons:
+        run([py, os.path.join(scripts, "check_bench_json.py")]
+            + sorted(bench_jsons), "bench JSON schema")
+    else:
+        print("verify_gate: no checked-in BENCH_*.json (ok)")
+
+    print("verify_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

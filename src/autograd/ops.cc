@@ -14,6 +14,10 @@ namespace {
 /// some input requires grad, so inference-only forward passes build no graph.
 Variable MakeOp(Tensor value, std::vector<Variable> inputs,
                 std::function<void(Node*)> backward) {
+  // Contract: no op may produce NaN/Inf. Checking the single funnel point
+  // catches a numeric blow-up at the op that created it rather than ten ops
+  // downstream in the loss. (No-op unless EMBSR_CHECK_CONTRACTS.)
+  EMBSR_CHECK_FINITE(value);
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   bool rg = false;

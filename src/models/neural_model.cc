@@ -157,10 +157,7 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
       opt.ZeroGrad();
       double batch_loss = 0.0;
       for (size_t i = begin; i < end; ++i) {
-        const Example& ex = *order[i];
-        ag::Variable logits = Logits(ex);
-        ag::Variable loss =
-            ag::SoftmaxCrossEntropy(logits, {ex.target});
+        ag::Variable loss = LossOn(*order[i]);
         batch_loss += loss.value().at(0);
         // Scale so accumulated gradients equal the batch-mean gradient.
         ag::Scale(loss, inv_batch).Backward();
@@ -292,6 +289,14 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
   return Status::OK();
 }
 
+ag::Variable NeuralSessionModel::LossOn(const Example& ex) {
+  // Contract: the example must reference this model's vocabulary. Item ids
+  // inside the session are checked by Embedding at lookup; the target is
+  // only ever used as a logits column, so check it here at the model edge.
+  EMBSR_CHECK_BOUNDS(ex.target, 0, num_items_);
+  return ag::SoftmaxCrossEntropy(Logits(ex), {ex.target});
+}
+
 std::vector<float> NeuralSessionModel::ScoreAll(const Example& ex) {
   EMBSR_TIMED_SPAN("model/score_all", "model/score_all_ms");
   const bool was_training = training();
@@ -300,7 +305,7 @@ std::vector<float> NeuralSessionModel::ScoreAll(const Example& ex) {
   SetTraining(was_training);
   const Tensor& v = logits.value();
   EMBSR_CHECK_EQ(v.size(), num_items_);
-  return std::vector<float>(v.data(), v.data() + v.size());
+  return v.vec();
 }
 
 double NeuralSessionModel::ValidationMrr(const std::vector<Example>& split,

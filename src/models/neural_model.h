@@ -30,6 +30,12 @@ class NeuralSessionModel : public Recommender, public nn::Module {
 
   std::vector<float> ScoreAll(const Example& ex) override;
 
+  /// Differentiable training loss on one example: softmax cross-entropy of
+  /// Logits(ex) against the example's target. This is exactly the per-example
+  /// term the training loop optimizes; it is public so external verifiers
+  /// (src/verify gradcheck) can check d(loss)/d(parameters) end-to-end.
+  ag::Variable LossOn(const Example& ex);
+
   const TrainConfig& config() const { return cfg_; }
   int64_t num_items() const { return num_items_; }
   int64_t num_operations() const { return num_operations_; }

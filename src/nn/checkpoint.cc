@@ -52,7 +52,8 @@ class ByteReader {
           what + " at offset " + std::to_string(off_) + ", have " +
           std::to_string(remaining()));
     }
-    std::memcpy(dst, data_.data() + off_, n);
+    std::memcpy(  // lint: allow(data-arith): byte I/O, n <= remaining() checked above
+        dst, data_.data() + off_, n);
     off_ += n;
     return Status::OK();
   }
@@ -296,7 +297,8 @@ Status LoadImpl(const std::string& path, Module* module, TrainState* state,
   }
   const size_t crc_off = data.size() - sizeof(uint32_t);
   uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, data.data() + crc_off, sizeof(uint32_t));
+  std::memcpy(  // lint: allow(data-arith): byte I/O, crc_off = size - 4 with size checked
+      &stored_crc, data.data() + crc_off, sizeof(uint32_t));
   const uint32_t computed_crc = Crc32(data.data(), crc_off);
   if (stored_crc != computed_crc) {
     return Status::InvalidArgument(

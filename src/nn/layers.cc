@@ -26,6 +26,10 @@ Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool bias)
 }
 
 ag::Variable Linear::Forward(const ag::Variable& x) const {
+  // Layer-boundary contracts: ops check their own outputs (MakeOp), layers
+  // check what callers feed them, so a bad input is reported at the layer
+  // the caller actually wrote.
+  EMBSR_CHECK_FINITE(x.value());
   ag::Variable y = ag::MatMul(x, weight_);
   if (has_bias_) y = ag::AddRowBroadcast(y, bias_);
   return y;
@@ -41,6 +45,9 @@ Embedding::Embedding(int64_t count, int64_t dim, Rng* rng)
 }
 
 ag::Variable Embedding::Forward(const std::vector<int64_t>& indices) const {
+#if EMBSR_CONTRACTS_ENABLED
+  for (const int64_t idx : indices) EMBSR_CHECK_BOUNDS(idx, 0, count_);
+#endif
   return ag::GatherRows(table_, indices);
 }
 
@@ -66,6 +73,8 @@ GRUCell::GRUCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
 
 ag::Variable GRUCell::Forward(const ag::Variable& x,
                               const ag::Variable& h) const {
+  EMBSR_CHECK_FINITE(x.value());
+  EMBSR_CHECK_FINITE(h.value());
   using namespace ag;  // NOLINT: local readability for the math
   Variable r = Sigmoid(AddRowBroadcast(
       Add(MatMul(x, w_ir_), MatMul(h, w_hr_)), b_r_));
@@ -113,6 +122,7 @@ LayerNorm::LayerNorm(int64_t dim) {
 }
 
 ag::Variable LayerNorm::Forward(const ag::Variable& x) const {
+  EMBSR_CHECK_FINITE(x.value());
   return ag::AddRowBroadcast(
       ag::MulRowBroadcast(ag::LayerNormRows(x), gamma_), beta_);
 }
@@ -126,6 +136,7 @@ FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng)
 }
 
 ag::Variable FeedForward::Forward(const ag::Variable& x) const {
+  EMBSR_CHECK_FINITE(x.value());
   return fc2_.Forward(ag::Relu(fc1_.Forward(x)));
 }
 

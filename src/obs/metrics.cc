@@ -47,7 +47,8 @@ const std::vector<double>& DefaultLatencyBucketsMs() {
 }
 
 Registry& Registry::Global() {
-  static Registry* instance = new Registry();  // never destroyed
+  static Registry* instance =
+      new Registry();  // lint: allow(raw-new): leaked singleton, never destroyed
   return *instance;
 }
 

@@ -53,7 +53,8 @@ TraceSession::TraceSession() {
 }
 
 TraceSession& TraceSession::Global() {
-  static TraceSession* instance = new TraceSession();  // never destroyed
+  static TraceSession* instance =
+      new TraceSession();  // lint: allow(raw-new): leaked singleton, never destroyed
   return *instance;
 }
 
@@ -64,7 +65,7 @@ void TraceSession::Start(std::string path) {
     buf->events.clear();
   }
   path_ = std::move(path);
-  origin_ns_ = SteadyNowNs();
+  origin_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -91,7 +92,7 @@ Status TraceSession::Stop() {
 }
 
 int64_t TraceSession::NowUs() const {
-  return (SteadyNowNs() - origin_ns_) / 1000;
+  return (SteadyNowNs() - origin_ns_.load(std::memory_order_relaxed)) / 1000;
 }
 
 TraceSession::ThreadBuffer* TraceSession::GetThreadBuffer() {

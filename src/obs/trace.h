@@ -77,10 +77,13 @@ class TraceSession {
   ThreadBuffer* GetThreadBuffer();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  // guards buffers_, path_, origin_
+  mutable std::mutex mu_;  // guards buffers_, path_
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   std::string path_;
-  int64_t origin_ns_ = 0;
+  /// Atomic because NowUs() reads it on every span without taking mu_
+  /// while Start() rewrites it. A span racing with Start() may measure
+  /// against the old origin; Record() clamps negative timestamps to 0.
+  std::atomic<int64_t> origin_ns_{0};
   uint32_t next_tid_ = 0;
 };
 

@@ -66,7 +66,7 @@ Failpoints::Failpoints()
 
 Failpoints& Failpoints::Global() {
   static Failpoints* instance = [] {
-    auto* fp = new Failpoints();
+    auto* fp = new Failpoints();  // lint: allow(raw-new): leaked singleton, never destroyed
     std::lock_guard<std::mutex> lock(fp->mu_);
     fp->ConfigureFromEnvLocked();
     return fp;

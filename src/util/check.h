@@ -1,40 +1,71 @@
 #ifndef EMBSR_UTIL_CHECK_H_
 #define EMBSR_UTIL_CHECK_H_
 
+#include <cmath>
+#include <cstdarg>
+#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
+#include <string>
+
+#include "util/logging.h"
 
 /// Internal-invariant assertions. These are *not* for validating user input
 /// (return Status for that); they guard programmer errors inside the library
 /// and abort with a diagnostic when violated. They stay on in release builds
 /// because a silently corrupt tensor shape is worse than a crash.
+///
+/// Failures route through util/logging as a FATAL record (timestamp, level,
+/// thread id, file:line), so a crashing run leaves the same trail as its
+/// ordinary logs, then abort().
 
 #define EMBSR_CHECK(cond)                                                    \
   do {                                                                       \
     if (!(cond)) {                                                           \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
-                   __LINE__, #cond);                                         \
-      std::abort();                                                          \
+      EMBSR_LOG(Fatal) << "CHECK failed: " << #cond;                         \
     }                                                                        \
   } while (0)
+
+namespace embsr::internal_check {
+
+/// printf-style formatting for EMBSR_CHECK_MSG.
+__attribute__((format(printf, 1, 2))) inline std::string FormatMsg(
+    const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace embsr::internal_check
 
 #define EMBSR_CHECK_MSG(cond, ...)                                           \
   do {                                                                       \
     if (!(cond)) {                                                           \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s: ", __FILE__,          \
-                   __LINE__, #cond);                                         \
-      std::fprintf(stderr, __VA_ARGS__);                                     \
-      std::fprintf(stderr, "\n");                                            \
-      std::abort();                                                          \
+      EMBSR_LOG(Fatal) << "CHECK failed: " << #cond << ": "                  \
+                       << ::embsr::internal_check::FormatMsg(__VA_ARGS__);   \
     }                                                                        \
   } while (0)
 
-#define EMBSR_CHECK_EQ(a, b) EMBSR_CHECK((a) == (b))
-#define EMBSR_CHECK_NE(a, b) EMBSR_CHECK((a) != (b))
-#define EMBSR_CHECK_LT(a, b) EMBSR_CHECK((a) < (b))
-#define EMBSR_CHECK_LE(a, b) EMBSR_CHECK((a) <= (b))
-#define EMBSR_CHECK_GT(a, b) EMBSR_CHECK((a) > (b))
-#define EMBSR_CHECK_GE(a, b) EMBSR_CHECK((a) >= (b))
+/// Binary comparisons print both operand values (operands must be
+/// ostream-printable; evaluated exactly once).
+#define EMBSR_CHECK_BINOP(op, a, b)                                          \
+  do {                                                                       \
+    auto&& embsr_check_a = (a);                                              \
+    auto&& embsr_check_b = (b);                                              \
+    if (!(embsr_check_a op embsr_check_b)) {                                 \
+      EMBSR_LOG(Fatal) << "CHECK failed: " << #a " " #op " " #b << " ("      \
+                       << embsr_check_a << " vs " << embsr_check_b << ")";   \
+    }                                                                        \
+  } while (0)
+
+#define EMBSR_CHECK_EQ(a, b) EMBSR_CHECK_BINOP(==, a, b)
+#define EMBSR_CHECK_NE(a, b) EMBSR_CHECK_BINOP(!=, a, b)
+#define EMBSR_CHECK_LT(a, b) EMBSR_CHECK_BINOP(<, a, b)
+#define EMBSR_CHECK_LE(a, b) EMBSR_CHECK_BINOP(<=, a, b)
+#define EMBSR_CHECK_GT(a, b) EMBSR_CHECK_BINOP(>, a, b)
+#define EMBSR_CHECK_GE(a, b) EMBSR_CHECK_BINOP(>=, a, b)
 
 namespace embsr::internal_check {
 
@@ -57,10 +88,74 @@ auto AsStatus(const T& status_or_result) {
     const auto embsr_check_ok_status =                                       \
         ::embsr::internal_check::AsStatus((expr));                           \
     if (!embsr_check_ok_status.ok()) {                                       \
-      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,       \
-                   __LINE__, embsr_check_ok_status.ToString().c_str());      \
-      std::abort();                                                          \
+      EMBSR_LOG(Fatal) << "CHECK_OK failed: "                                \
+                       << embsr_check_ok_status.ToString();                  \
     }                                                                        \
   } while (0)
+
+// ---- Debug-mode tensor contracts -------------------------------------------
+//
+// EMBSR_CHECK_SHAPE / EMBSR_CHECK_FINITE / EMBSR_CHECK_BOUNDS guard tensor-op
+// and layer preconditions (shape agreement, finiteness, index bounds). They
+// are O(size) scans in the worst case, so they compile to no-ops unless the
+// EMBSR_CHECK_CONTRACTS CMake option is on (which defines
+// EMBSR_CHECK_CONTRACTS=1 for the whole build); release benches are
+// unaffected. The helpers are templates on "anything with shape()/data()" so
+// this header never has to include tensor/tensor.h (util sits below tensor
+// in the layer DAG).
+
+namespace embsr::internal_check {
+
+template <typename TensorT>
+void ContractShapeEq(const TensorT& a, const TensorT& b, const char* a_name,
+                     const char* b_name, const char* file, int line) {
+  if (a.shape() == b.shape()) return;
+  internal_logging::LogMessage(LogLevel::kFatal, file, line).stream()
+      << "shape contract violated: " << a_name << " is " << a.ShapeString()
+      << " but " << b_name << " is " << b.ShapeString();
+}
+
+template <typename TensorT>
+void ContractFinite(const TensorT& t, const char* t_name, const char* file,
+                    int line) {
+  const float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    if (!std::isfinite(p[i])) {
+      internal_logging::LogMessage(LogLevel::kFatal, file, line).stream()
+          << "finite contract violated: " << t_name << " element " << i
+          << " of " << t.size() << " is " << p[i];
+    }
+  }
+}
+
+inline void ContractBounds(int64_t value, int64_t lo, int64_t hi,
+                           const char* expr, const char* file, int line) {
+  if (value >= lo && value < hi) return;
+  internal_logging::LogMessage(LogLevel::kFatal, file, line).stream()
+      << "bounds contract violated: " << expr << " = " << value
+      << " not in [" << lo << ", " << hi << ")";
+}
+
+}  // namespace embsr::internal_check
+
+#if defined(EMBSR_CHECK_CONTRACTS) && EMBSR_CHECK_CONTRACTS
+#define EMBSR_CONTRACTS_ENABLED 1
+/// Both tensors must have identical shapes.
+#define EMBSR_CHECK_SHAPE(a, b)                                       \
+  ::embsr::internal_check::ContractShapeEq((a), (b), #a, #b, __FILE__, \
+                                           __LINE__)
+/// Every element of the tensor must be finite (no NaN/Inf).
+#define EMBSR_CHECK_FINITE(t) \
+  ::embsr::internal_check::ContractFinite((t), #t, __FILE__, __LINE__)
+/// `i` must lie in the half-open range [lo, hi).
+#define EMBSR_CHECK_BOUNDS(i, lo, hi)                                    \
+  ::embsr::internal_check::ContractBounds((i), (lo), (hi), #i, __FILE__, \
+                                          __LINE__)
+#else
+#define EMBSR_CONTRACTS_ENABLED 0
+#define EMBSR_CHECK_SHAPE(a, b) ((void)0)
+#define EMBSR_CHECK_FINITE(t) ((void)0)
+#define EMBSR_CHECK_BOUNDS(i, lo, hi) ((void)0)
+#endif
 
 #endif  // EMBSR_UTIL_CHECK_H_

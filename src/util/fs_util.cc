@@ -39,7 +39,8 @@ Status AtomicWriteFile(const std::string& path, const std::string& data) {
   }
   size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    const ssize_t n = ::write(  // lint: allow(data-arith): byte I/O, off < size by loop condition
+        fd, data.data() + off, data.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       const std::string err = Errno();

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <mutex>
@@ -26,6 +27,8 @@ const char* LevelName(LogLevel level) {
       return "WARN";
     case LogLevel::kError:
       return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
   }
   return "?";
 }
@@ -55,7 +58,9 @@ std::string FormatTimestamp() {
       1000);
   std::tm tm_utc;
   gmtime_r(&secs, &tm_utc);
-  char buf[32];
+  // Sized so gcc can prove the worst-case snprintf expansion fits (a year
+  // outside [0, 9999] would otherwise trip -Wformat-truncation).
+  char buf[48];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
                 tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
                 tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
@@ -109,12 +114,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) <
-      g_min_level.load(std::memory_order_relaxed)) {
+  // Fatal messages are never filtered: a failed invariant check must leave
+  // its diagnostic behind no matter what EMBSR_LOG_LEVEL says.
+  if (level_ != LogLevel::kFatal &&
+      static_cast<int>(level_) <
+          g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
   std::string msg = stream_.str();
   std::fprintf(stderr, "%s\n", msg.c_str());
+  if (level_ == LogLevel::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
 }
 
 }  // namespace internal_logging

@@ -6,7 +6,7 @@
 
 namespace embsr {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 /// Sets the global minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
@@ -27,6 +27,9 @@ namespace internal_logging {
 /// Stream-style log sink: collects the message and emits it on destruction
 /// prefixed with wall-clock timestamp, level, thread id and file:line, e.g.
 /// `[2026-08-06 12:34:56.789 INFO tid=0 experiment.cc:37] msg`.
+///
+/// kFatal messages bypass the level filter and abort the process after
+/// emitting (the EMBSR_CHECK family in util/check.h routes through this).
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -1,0 +1,145 @@
+#include "verify/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace embsr {
+namespace verify {
+
+namespace {
+
+constexpr size_t kMaxReportedFailures = 8;
+
+/// The element indices of one leaf to compare. Small leaves are checked
+/// exhaustively; large ones get a deterministic without-replacement sample
+/// so model-scale tables stay affordable.
+std::vector<int64_t> ElementsToCheck(int64_t size, int max_per_leaf,
+                                     Rng* rng) {
+  if (max_per_leaf <= 0 || size <= max_per_leaf) {
+    std::vector<int64_t> all(static_cast<size_t>(size));
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  std::vector<int64_t> all(static_cast<size_t>(size));
+  std::iota(all.begin(), all.end(), 0);
+  rng->Shuffle(&all);
+  all.resize(static_cast<size_t>(max_per_leaf));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+float ScalarLoss(const ag::Variable& loss) {
+  EMBSR_CHECK_EQ(loss.value().size(), 1);
+  return loss.value().at(0);
+}
+
+}  // namespace
+
+std::string GradCheckResult::ToString() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "FAILED") << ": checked " << checked_elements
+     << " element(s), max relative error " << max_rel_error;
+  for (const std::string& f : failures) os << "\n  " << f;
+  return os.str();
+}
+
+GradCheckResult CheckGradients(const LossFn& make_loss,
+                               std::vector<ag::Variable> leaves,
+                               const GradCheckConfig& config) {
+  GradCheckResult result;
+
+  // The loss must be a pure function of the leaf values; a non-deterministic
+  // loss (unseeded dropout, data-dependent randomness) makes the central
+  // difference meaningless, so detect it up front.
+  const float probe0 = ScalarLoss(make_loss(leaves));
+  const float probe1 = ScalarLoss(make_loss(leaves));
+  if (probe0 != probe1) {
+    result.ok = false;
+    result.failures.push_back(
+        "loss is not deterministic across invocations (" +
+        std::to_string(probe0) + " vs " + std::to_string(probe1) +
+        "); fix the seed of any internal randomness");
+    return result;
+  }
+
+  // Analytic gradients from one backward pass.
+  for (auto& leaf : leaves) leaf.ZeroGrad();
+  ag::Variable loss = make_loss(leaves);
+  EMBSR_CHECK_EQ(loss.value().size(), 1);
+  loss.Backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (const auto& leaf : leaves) analytic.push_back(leaf.GradOrZeros());
+
+  Rng sample_rng(config.seed);
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    ag::Variable& leaf = leaves[li];
+    if (!leaf.requires_grad()) continue;
+    const std::vector<int64_t> elems = ElementsToCheck(
+        leaf.value().size(), config.max_elements_per_leaf, &sample_rng);
+    for (const int64_t i : elems) {
+      const float orig = leaf.value().at(i);
+      const auto central_diff = [&](float eps) {
+        leaf.mutable_value().at(i) = orig + eps;
+        const float up = ScalarLoss(make_loss(leaves));
+        leaf.mutable_value().at(i) = orig - eps;
+        const float down = ScalarLoss(make_loss(leaves));
+        leaf.mutable_value().at(i) = orig;
+        return (up - down) / (2.0f * eps);
+      };
+      const auto rel_error = [&](float numeric) {
+        const float a = analytic[li].at(i);
+        const float denom = std::max(
+            {std::fabs(a), std::fabs(numeric), config.denom_floor});
+        return std::fabs(a - numeric) / denom;
+      };
+
+      float numeric = central_diff(config.eps);
+      float rel_err = rel_error(numeric);
+      if (rel_err > config.rel_tol && config.retry_eps_factor > 0.0f) {
+        // Two-step-size agreement (see GradCheckConfig::retry_eps_factor):
+        // keep whichever step size agrees better with the analytic value.
+        const float retry = central_diff(config.eps * config.retry_eps_factor);
+        const float retry_err = rel_error(retry);
+        if (retry_err < rel_err) {
+          numeric = retry;
+          rel_err = retry_err;
+        }
+      }
+      const float a = analytic[li].at(i);
+
+      ++result.checked_elements;
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > config.rel_tol) {
+        result.ok = false;
+        if (result.failures.size() < kMaxReportedFailures) {
+          std::ostringstream os;
+          os << "leaf " << li << " elem " << i << ": analytic " << a
+             << " numeric " << numeric << " rel_err " << rel_err;
+          result.failures.push_back(os.str());
+        }
+      }
+    }
+  }
+  return result;
+}
+
+GradCheckResult CheckModuleGradients(
+    const nn::Module& module,
+    const std::function<ag::Variable()>& make_loss,
+    const GradCheckConfig& config) {
+  // Parameter handles alias the module's nodes, so perturbing the leaf
+  // values perturbs what the module's forward pass reads.
+  return CheckGradients(
+      [&make_loss](const std::vector<ag::Variable>&) { return make_loss(); },
+      module.Parameters(), config);
+}
+
+}  // namespace verify
+}  // namespace embsr

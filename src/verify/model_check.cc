@@ -1,0 +1,55 @@
+#include "verify/model_check.h"
+
+#include <memory>
+
+#include "models/neural_model.h"
+#include "train/model_zoo.h"
+
+namespace embsr {
+namespace verify {
+
+int64_t TinyVocabItems() { return 12; }
+int64_t TinyVocabOperations() { return 4; }
+
+Example TinyExample() {
+  Example ex;
+  ex.macro_items = {3, 7, 5};
+  ex.macro_ops = {{1}, {0, 2}, {1, 3}};
+  // Flat micro-behavior view of the same session: each macro item repeated
+  // once per operation, operations parallel.
+  ex.flat_items = {3, 7, 7, 5, 5};
+  ex.flat_ops = {1, 0, 2, 1, 3};
+  ex.target = 9;
+  return ex;
+}
+
+ModelGradCheckOutcome CheckModelGradients(const std::string& name,
+                                          const GradCheckConfig& config) {
+  ModelGradCheckOutcome outcome;
+
+  TrainConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.max_positions = 16;
+  cfg.seed = 17;
+
+  std::unique_ptr<Recommender> model =
+      CreateModel(name, TinyVocabItems(), TinyVocabOperations(), cfg);
+  if (model == nullptr) return outcome;
+  outcome.known = true;
+
+  auto* neural = dynamic_cast<NeuralSessionModel*>(model.get());
+  if (neural == nullptr) return outcome;  // memory-based: nothing to check
+  outcome.neural = true;
+
+  // Eval mode turns dropout off, making LossOn a pure deterministic
+  // function of the parameters — the precondition for central differences.
+  neural->SetTraining(false);
+
+  const Example ex = TinyExample();
+  outcome.result = CheckModuleGradients(
+      *neural, [neural, &ex] { return neural->LossOn(ex); }, config);
+  return outcome;
+}
+
+}  // namespace verify
+}  // namespace embsr

@@ -1,0 +1,43 @@
+#ifndef EMBSR_VERIFY_MODEL_CHECK_H_
+#define EMBSR_VERIFY_MODEL_CHECK_H_
+
+#include <string>
+
+#include "data/session.h"
+#include "verify/gradcheck.h"
+
+namespace embsr {
+namespace verify {
+
+/// End-to-end gradient check of a model from the zoo: builds the model by
+/// name on a tiny vocabulary, evaluates LossOn a fixed synthetic example in
+/// eval mode (dropout off, so the loss is a pure function of the
+/// parameters), and compares backward against central differences over a
+/// sampled subset of every parameter tensor.
+struct ModelGradCheckOutcome {
+  /// False if CreateModel did not recognize the name.
+  bool known = false;
+  /// False for memory-based models (S-POP, SKNN, STAN, ...) that have no
+  /// gradients to check; `result` is left trivially ok for those.
+  bool neural = false;
+  GradCheckResult result;
+};
+
+/// The fixed synthetic session every model is checked on: 3 macro items
+/// with 1-2 micro-operations each, vocabulary of `TinyVocabItems()` items
+/// and `TinyVocabOperations()` operation types.
+Example TinyExample();
+int64_t TinyVocabItems();
+int64_t TinyVocabOperations();
+
+/// Gradient-checks the named zoo model end to end (parameters -> LossOn).
+/// `config.max_elements_per_leaf` should be small (e.g. 8): exhaustive
+/// central differences over every parameter of every model would cost two
+/// forward passes per scalar weight.
+ModelGradCheckOutcome CheckModelGradients(const std::string& name,
+                                          const GradCheckConfig& config = {});
+
+}  // namespace verify
+}  // namespace embsr
+
+#endif  // EMBSR_VERIFY_MODEL_CHECK_H_

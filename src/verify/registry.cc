@@ -1,0 +1,45 @@
+#include "verify/registry.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace embsr {
+namespace verify {
+
+GradCheckRegistry& GradCheckRegistry::Global() {
+  static GradCheckRegistry* instance =
+      new GradCheckRegistry();  // lint: allow(raw-new): leaked singleton, never destroyed
+  return *instance;
+}
+
+void GradCheckRegistry::Register(std::string kind, std::string name,
+                                 std::function<GradCheckResult()> run) {
+  EMBSR_CHECK(!kind.empty());
+  EMBSR_CHECK(!name.empty());
+  EMBSR_CHECK(run != nullptr);
+  if (Find(kind, name) != nullptr) return;  // idempotent re-registration
+  cases_.push_back(GradCheckCase{std::move(kind), std::move(name),
+                                 std::move(run)});
+}
+
+std::vector<std::string> GradCheckRegistry::Names(
+    const std::string& kind) const {
+  std::vector<std::string> names;
+  for (const auto& c : cases_) {
+    if (c.kind == kind) names.push_back(c.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const GradCheckCase* GradCheckRegistry::Find(const std::string& kind,
+                                             const std::string& name) const {
+  for (const auto& c : cases_) {
+    if (c.kind == kind && c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace verify
+}  // namespace embsr

@@ -1,0 +1,58 @@
+#ifndef EMBSR_VERIFY_REGISTRY_H_
+#define EMBSR_VERIFY_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/gradcheck.h"
+
+namespace embsr {
+namespace verify {
+
+/// One registered gradient-check case. `name` must match the declared name
+/// in the source file the coverage test scans (the op function in
+/// autograd/ops.h, or the layer class in nn/layers.h) — that is the link
+/// that makes the coverage enforcement automatic.
+struct GradCheckCase {
+  std::string kind;  // "op" or "layer"
+  std::string name;
+  std::function<GradCheckResult()> run;
+};
+
+/// Registry of gradient-check cases, compared by the coverage test against
+/// the op/layer/model names statically scanned out of the source tree
+/// (verify/source_scan.h). Adding an op to autograd/ops.h or a layer to
+/// nn/layers.h without registering a case here fails gradcheck_test.
+class GradCheckRegistry {
+ public:
+  static GradCheckRegistry& Global();
+
+  void Register(std::string kind, std::string name,
+                std::function<GradCheckResult()> run);
+
+  const std::vector<GradCheckCase>& cases() const { return cases_; }
+
+  /// Sorted names of all cases of one kind.
+  std::vector<std::string> Names(const std::string& kind) const;
+
+  /// Null if no case of that kind/name exists.
+  const GradCheckCase* Find(const std::string& kind,
+                            const std::string& name) const;
+
+ private:
+  GradCheckRegistry() = default;
+
+  std::vector<GradCheckCase> cases_;
+};
+
+/// Registers the built-in cases covering every op in autograd/ops.h and
+/// every layer in nn/layers.h. Idempotent; call before consulting the
+/// registry (a plain function instead of static initializers so a static
+/// library link can never silently drop the cases).
+void RegisterBuiltinGradCheckCases();
+
+}  // namespace verify
+}  // namespace embsr
+
+#endif  // EMBSR_VERIFY_REGISTRY_H_

@@ -1,0 +1,67 @@
+#include "verify/source_scan.h"
+
+#include <algorithm>
+#include <regex>
+
+#include "util/fs_util.h"
+
+namespace embsr {
+namespace verify {
+
+namespace {
+
+std::vector<std::string> MatchAll(const std::string& text,
+                                  const std::regex& re) {
+  std::vector<std::string> names;
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    names.push_back((*it)[1].str());
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+Result<std::vector<std::string>> ScanFile(
+    const std::string& path,
+    std::vector<std::string> (*scan)(const std::string&)) {
+  Result<std::string> source = ReadFileToString(path);
+  if (!source.ok()) return source.status();
+  return scan(source.value());
+}
+
+}  // namespace
+
+std::vector<std::string> DeclaredOpNames(const std::string& ops_header) {
+  // House style: each op is declared `Variable Name(` at the start of a
+  // line (multi-line parameter lists still put the name on the first line).
+  static const std::regex kOpDecl(R"(^Variable (\w+)\()",
+                                  std::regex::multiline);
+  return MatchAll(ops_header, kOpDecl);
+}
+
+std::vector<std::string> DeclaredLayerNames(const std::string& layers_header) {
+  static const std::regex kLayerDecl(R"(^class (\w+) : public Module)",
+                                     std::regex::multiline);
+  return MatchAll(layers_header, kLayerDecl);
+}
+
+std::vector<std::string> DeclaredModelNames(const std::string& model_zoo_cc) {
+  static const std::regex kModelName(R"rx(name == "([^"]+)")rx");
+  return MatchAll(model_zoo_cc, kModelName);
+}
+
+Result<std::vector<std::string>> ScanOpNames(const std::string& repo_root) {
+  return ScanFile(repo_root + "/src/autograd/ops.h", &DeclaredOpNames);
+}
+
+Result<std::vector<std::string>> ScanLayerNames(const std::string& repo_root) {
+  return ScanFile(repo_root + "/src/nn/layers.h", &DeclaredLayerNames);
+}
+
+Result<std::vector<std::string>> ScanModelNames(const std::string& repo_root) {
+  return ScanFile(repo_root + "/src/train/model_zoo.cc", &DeclaredModelNames);
+}
+
+}  // namespace verify
+}  // namespace embsr

@@ -1,0 +1,42 @@
+#ifndef EMBSR_VERIFY_SOURCE_SCAN_H_
+#define EMBSR_VERIFY_SOURCE_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace embsr {
+namespace verify {
+
+/// Lightweight static scans of the repo's own sources. These are the
+/// enumeration half of the gradcheck coverage contract: the registry test
+/// scans the *declarations* (ops header, layers header, model factory) and
+/// fails when a declared name has no registered gradient check — so a new
+/// op, layer or model cannot land unchecked.
+///
+/// The scanners are deliberately line-regex simple: they parse this repo's
+/// house style, not arbitrary C++.
+
+/// Names of differentiable ops declared in autograd/ops.h, i.e. every
+/// function of the form `Variable Name(...)` at line start. Sorted, unique.
+std::vector<std::string> DeclaredOpNames(const std::string& ops_header);
+
+/// Names of layer classes declared in nn/layers.h, i.e. every
+/// `class Name : public Module`. Sorted, unique.
+std::vector<std::string> DeclaredLayerNames(const std::string& layers_header);
+
+/// Model names recognized by CreateModel in train/model_zoo.cc, i.e. every
+/// string literal compared against `name ==`. Sorted, unique.
+std::vector<std::string> DeclaredModelNames(const std::string& model_zoo_cc);
+
+/// Convenience: reads and scans the three files under `repo_root`
+/// (src/autograd/ops.h, src/nn/layers.h, src/train/model_zoo.cc).
+Result<std::vector<std::string>> ScanOpNames(const std::string& repo_root);
+Result<std::vector<std::string>> ScanLayerNames(const std::string& repo_root);
+Result<std::vector<std::string>> ScanModelNames(const std::string& repo_root);
+
+}  // namespace verify
+}  // namespace embsr
+
+#endif  // EMBSR_VERIFY_SOURCE_SCAN_H_

@@ -1,0 +1,88 @@
+// Two-run determinism: training the same model on the same data with the
+// same seed must be bit-for-bit reproducible — identical parameters and
+// identical evaluation metrics. This is the foundation the gradient checker
+// (loss purity), crash-resume (exact replay), and any experiment in
+// EXPERIMENTS.md all stand on; a single unseeded code path breaks it.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "gtest/gtest.h"
+#include "models/neural_model.h"
+#include "train/evaluator.h"
+#include "train/model_zoo.h"
+#include "util/check.h"
+
+namespace embsr {
+namespace {
+
+const ProcessedDataset& SmallData() {
+  static const ProcessedDataset* d = [] {
+    auto r = MakeDataset(JdAppliancesConfig(0.02));
+    EMBSR_CHECK_OK(r);
+    return new ProcessedDataset(std::move(r).value());
+  }();
+  return *d;
+}
+
+struct RunOutcome {
+  std::vector<Tensor> params;
+  MetricReport report;
+};
+
+RunOutcome TrainOnce(const std::string& model_name) {
+  const ProcessedDataset& data = SmallData();
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.embedding_dim = 16;
+  cfg.seed = 1234;
+  cfg.max_train_examples = 60;
+
+  std::unique_ptr<Recommender> model =
+      CreateModel(model_name, data.num_items, data.num_operations, cfg);
+  EMBSR_CHECK(model != nullptr);
+  EMBSR_CHECK_OK(model->Fit(data));
+
+  RunOutcome out;
+  auto* neural = dynamic_cast<NeuralSessionModel*>(model.get());
+  EMBSR_CHECK(neural != nullptr);
+  for (const auto& p : neural->Parameters()) out.params.push_back(p.value());
+  out.report = Evaluate(model.get(), data.test, {10, 20}, 40).report;
+  return out;
+}
+
+// Bit-for-bit: float equality via memcmp, not AllClose — "almost the same
+// parameters" after two identical runs is a determinism bug, full stop.
+void ExpectBitIdentical(const std::vector<Tensor>& a,
+                        const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].shape(), b[i].shape()) << "param " << i;
+    EXPECT_EQ(std::memcmp(a[i].data(), b[i].data(),
+                          sizeof(float) * static_cast<size_t>(a[i].size())),
+              0)
+        << "param " << i << " differs between identically-seeded runs";
+  }
+}
+
+TEST(DeterminismTest, TwoRunsBitIdenticalGRU4Rec) {
+  const RunOutcome first = TrainOnce("GRU4Rec");
+  const RunOutcome second = TrainOnce("GRU4Rec");
+  ExpectBitIdentical(first.params, second.params);
+  EXPECT_EQ(first.report.hit, second.report.hit);
+  EXPECT_EQ(first.report.mrr, second.report.mrr);
+}
+
+TEST(DeterminismTest, TwoRunsBitIdenticalEMBSR) {
+  const RunOutcome first = TrainOnce("EMBSR");
+  const RunOutcome second = TrainOnce("EMBSR");
+  ExpectBitIdentical(first.params, second.params);
+  EXPECT_EQ(first.report.hit, second.report.hit);
+  EXPECT_EQ(first.report.mrr, second.report.mrr);
+}
+
+}  // namespace
+}  // namespace embsr

@@ -61,7 +61,6 @@ TEST(EmbsrModelTest, GradientsFlowToAllParameterGroups) {
   data.num_items = 20;
   data.num_operations = 10;
   data.train = {ToyExample()};
-  TrainConfig cfg = SmallConfig();
   ASSERT_TRUE(model.Fit(data).ok());
   // After Fit, parameters should have moved: compare two fresh models'
   // scores — instead simply verify named parameter coverage.

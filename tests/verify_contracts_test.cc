@@ -1,0 +1,56 @@
+// Debug-mode tensor contracts (EMBSR_CHECK_SHAPE / _FINITE / _BOUNDS) and
+// the FATAL routing of util/check.h.
+//
+// This test file force-enables the contract templates for its own
+// translation unit (see tests/CMakeLists.txt: EMBSR_CHECK_CONTRACTS=1),
+// which is safe regardless of how the libraries were built: the macros are
+// header-expanded per TU, so only code compiled here changes. Library-level
+// contract coverage (ops/layers) is exercised by running the whole suite
+// under a -DEMBSR_CHECK_CONTRACTS=ON build.
+
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+#include "util/check.h"
+
+namespace embsr {
+namespace {
+
+static_assert(EMBSR_CONTRACTS_ENABLED,
+              "this test must be compiled with EMBSR_CHECK_CONTRACTS=1");
+
+TEST(ContractsTest, PassingContractsAreSilent) {
+  const Tensor a({2, 3}, 1.0f);
+  const Tensor b({2, 3}, 2.0f);
+  EMBSR_CHECK_SHAPE(a, b);
+  EMBSR_CHECK_FINITE(a);
+  EMBSR_CHECK_BOUNDS(2, 0, 3);
+}
+
+TEST(ContractsDeathTest, ShapeMismatchDies) {
+  const Tensor a({2, 3});
+  const Tensor b({3, 2});
+  EXPECT_DEATH(EMBSR_CHECK_SHAPE(a, b), "shape contract violated");
+}
+
+TEST(ContractsDeathTest, NonFiniteTensorDies) {
+  Tensor t({2, 2}, 1.0f);
+  t.at(3) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_DEATH(EMBSR_CHECK_FINITE(t), "finite contract violated");
+}
+
+TEST(ContractsDeathTest, OutOfBoundsIndexDies) {
+  EXPECT_DEATH(EMBSR_CHECK_BOUNDS(7, 0, 7), "bounds contract violated");
+}
+
+TEST(ContractsDeathTest, CheckFailureRoutesThroughFatalLog) {
+  // The whole point of the check.h rework: a failed invariant produces a
+  // structured FATAL log record (level tag + file:line) before aborting,
+  // not a bare abort(). The death regex pins the log format.
+  EXPECT_DEATH(EMBSR_CHECK_EQ(1 + 1, 3),
+               "FATAL.*verify_contracts_test.*CHECK failed: 1 \\+ 1 == 3");
+}
+
+}  // namespace
+}  // namespace embsr
