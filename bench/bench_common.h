@@ -9,6 +9,7 @@
 #include "datagen/generator.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "par/thread_pool.h"
 #include "train/experiment.h"
 #include "util/check.h"
 #include "util/env.h"
@@ -70,8 +71,9 @@ inline void PrintHeader(const char* experiment, const char* paper_ref,
 
 /// Machine-readable sidecar of a bench run. Collects experiment results and
 /// named scalars while the bench prints its human table, then writes
-/// `BENCH_<name>.json` (schema v2: workload scale, wall time, results with
-/// per-cell status ok|failed, scalars, metrics snapshot) on destruction.
+/// `BENCH_<name>.json` (schema v2: workload scale, pool thread count, wall
+/// time, results with per-cell status ok|failed, scalars, metrics snapshot)
+/// on destruction.
 /// Failed sweep cells are recorded with their error instead of aborting the
 /// report — graceful degradation. The destination directory is
 /// the working directory, overridable with EMBSR_BENCH_JSON_DIR; the file
@@ -108,6 +110,7 @@ class BenchReport {
     w.BeginObject();
     w.Key("schema_version").Int(2);
     w.Key("bench").String(name_);
+    w.Key("threads").Int(par::ThreadCount());
     w.Key("workload").BeginObject();
     w.Key("bench_scale").Number(BenchScale());
     w.Key("dataset_scale").Number(DatasetScale());

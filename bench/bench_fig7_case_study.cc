@@ -89,18 +89,13 @@ int main() {
 
   for (size_t mi = 0; mi < models.size(); ++mi) {
     const auto scores = models[mi]->ScoreAll(*chosen);
-    std::vector<int64_t> order(scores.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::partial_sort(order.begin(), order.begin() + 5, order.end(),
-                      [&](int64_t a, int64_t b) {
-                        return scores[a] > scores[b];
-                      });
+    const std::vector<int64_t> order = TopKIndices(scores, 5);
     const int rank = RankOfTarget(scores, chosen->target);
     report.AddScalar("target_rank/" + names[mi], rank);
     std::printf("%-14s top-5: ", names[mi].c_str());
-    for (int i = 0; i < 5; ++i) {
-      std::printf("%lld%s ", static_cast<long long>(order[i]),
-                  order[i] == chosen->target ? "*" : "");
+    for (int64_t item : order) {
+      std::printf("%lld%s ", static_cast<long long>(item),
+                  item == chosen->target ? "*" : "");
     }
     std::printf("  (target rank %d%s)\n", rank,
                 rank <= 20 ? ", recalled in top-20" : "");

@@ -28,6 +28,39 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
 
+void BM_MatMulThreaded(benchmark::State& state) {
+  // Same kernel, explicit pool size: Args({n, threads}); threads 0 means
+  // the EMBSR_THREADS / hardware default.
+  const int64_t n = state.range(0);
+  par::SetThreadCount(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  par::SetThreadCount(0);
+}
+BENCHMARK(BM_MatMulThreaded)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 0});
+
+void BM_ParForOverhead(benchmark::State& state) {
+  // Fork-join cost of dispatching `range(0)` elements in 4k-index chunks
+  // through the global pool (measures pool overhead, not compute).
+  std::vector<float> v(static_cast<size_t>(state.range(0)), 1.0f);
+  for (auto _ : state) {
+    par::For(0, static_cast<int64_t>(v.size()), 1 << 12,
+             [&](int64_t lo, int64_t hi) {
+               for (int64_t i = lo; i < hi; ++i) v[static_cast<size_t>(i)] += 1.0f;
+             });
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_ParForOverhead)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
 void BM_RowSoftmax(benchmark::State& state) {
   Rng rng(2);
   Tensor a = Tensor::Randn({64, state.range(0)}, 1.0f, &rng);
@@ -138,6 +171,32 @@ void BM_EmbsrTrainEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_EmbsrTrainEpoch)->Arg(32);
 
+// Measures MatMul(256^3) serial vs. pooled and records the ratio in the
+// report's scalars — the machine-readable record of what the parallel
+// substrate buys on this machine (1.0x on a single-core host, where the
+// pool degrades to the serial path).
+void RecordParallelSpeedup(bench::BenchReport* report) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({256, 256}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({256, 256}, 1.0f, &rng);
+  const auto time_ms = [&](int reps) {
+    WallTimer t;
+    for (int i = 0; i < reps; ++i) benchmark::DoNotOptimize(MatMul(a, b));
+    return t.ElapsedSeconds() * 1e3 / reps;
+  };
+  constexpr int kReps = 8;
+  par::SetThreadCount(1);
+  time_ms(2);  // warm caches before either timed leg
+  const double serial_ms = time_ms(kReps);
+  par::SetThreadCount(0);  // EMBSR_THREADS / hardware default
+  time_ms(2);
+  const double pool_ms = time_ms(kReps);
+  report->AddScalar("matmul256_serial_ms", serial_ms);
+  report->AddScalar("matmul256_pool_ms", pool_ms);
+  report->AddScalar("matmul256_speedup",
+                    pool_ms > 0.0 ? serial_ms / pool_ms : 0.0);
+}
+
 }  // namespace
 }  // namespace embsr
 
@@ -149,6 +208,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   embsr::bench::BenchReport report("micro_substrate");
   benchmark::RunSpecifiedBenchmarks();
+  embsr::RecordParallelSpeedup(&report);
   benchmark::Shutdown();
   return 0;
 }

@@ -23,10 +23,10 @@ int main() {
 
   for (const char* which : {"appliances", "computers", "trivago"}) {
     const ProcessedDataset data = LoadDataset(which);
-    std::vector<ExperimentResult> results;
-    for (const std::string& name : variants) {
-      results.push_back(RunExperiment(name, data, cfg, ks));
-    }
+    // Parallel cells, input order, per-cell numbers unchanged (see
+    // RunExperimentCells).
+    std::vector<ExperimentResult> results =
+        RunExperimentCells(variants, data, cfg, ks);
     std::printf("%s\n", FormatMetricTable(data.name, results, ks).c_str());
     report.AddResults(results);
   }

@@ -72,6 +72,15 @@ def check_report(path, errors):
         if os.path.basename(path) != expected:
             _err(errors, path, f"file name should be {expected}")
 
+    # Optional: the par:: pool's lane count at report time. Older reports
+    # predate the field; when present it must be a positive integer.
+    if "threads" in doc:
+        threads = doc["threads"]
+        if not isinstance(threads, int) or isinstance(threads, bool) \
+                or threads < 1:
+            _err(errors, path,
+                 f"'threads' must be a positive integer, got {threads!r}")
+
     workload = doc.get("workload")
     if not isinstance(workload, dict):
         _err(errors, path, "missing 'workload' object")

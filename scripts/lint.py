@@ -42,7 +42,8 @@ import sys
 LAYER_DEPS = {
     "util": set(),
     "obs": {"util"},
-    "tensor": {"util"},
+    "par": {"obs", "util"},
+    "tensor": {"par", "util"},
     "metrics": {"util"},
     "failpoint": {"util", "obs"},
     "graph": {"tensor", "util"},
@@ -58,8 +59,8 @@ LAYER_DEPS = {
     "core": {"models", "nn", "optim", "data", "graph", "metrics", "robust",
              "failpoint", "autograd", "tensor", "obs", "util"},
     "train": {"core", "datagen", "models", "nn", "optim", "data", "graph",
-              "metrics", "robust", "failpoint", "autograd", "tensor", "obs",
-              "util"},
+              "metrics", "robust", "failpoint", "autograd", "tensor", "par",
+              "obs", "util"},
     "verify": {"train", "core", "datagen", "models", "nn", "optim", "data",
                "graph", "metrics", "robust", "failpoint", "autograd",
                "tensor", "obs", "util"},
@@ -74,6 +75,9 @@ RAND_RE = re.compile(r"(?<![\w.])s?rand\s*\(")
 GETENV_RE = re.compile(r"(?<![\w.:])(?:std::)?getenv\s*\(")
 ENV_CALL_RE = re.compile(r'GetEnv(?:Double|Int|String)\s*\(\s*"(?P<name>[^"]*)"')
 DATA_ARITH_RE = re.compile(r"\.data\(\)\s*[+-]")
+# Bare std::thread (the `(?!\s*::)` keeps std::thread::hardware_concurrency
+# legal — querying the machine is fine, owning a thread is not).
+RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
 
 
 def strip_comments(line):
@@ -149,6 +153,11 @@ def lint_file(rel_path, text):
             check("raw-new",
                   "raw new/delete; use std::make_unique/std::make_shared "
                   "or justify a leaked singleton")
+        if RAW_THREAD_RE.search(code):
+            check("raw-thread",
+                  "raw std::thread; go through par::For / par::ThreadPool "
+                  "so EMBSR_THREADS governs all parallelism (the pool "
+                  "itself carries the one sanctioned suppression)")
         if RAND_RE.search(code):
             check("rand",
                   "rand()/srand(); use embsr::Rng so runs are reproducible")
@@ -216,6 +225,15 @@ SELF_TEST_CASES = [
     ("data-arith", "src/models/x.cc",
      "float* p = t.data() + off;",
      "float v = t.at(off);"),
+    ("raw-thread", "src/train/x.cc",
+     "std::thread t([] { Work(); });",
+     "int n = static_cast<int>(std::thread::hardware_concurrency());"),
+    ("raw-thread", "src/obs/x.cc",
+     "std::vector<std::thread> workers;",
+     "par::For(0, n, 1, fn);"),
+    ("layer-dag", "src/util/x.cc",
+     '#include "par/thread_pool.h"',
+     '#include "util/env.h"'),
     ("bare-allow", "src/nn/x.cc",
      "int* p = new int;  // lint: allow(raw-new):",
      "static X* x = new X();  // lint: allow(raw-new): leaked singleton"),

@@ -67,6 +67,24 @@ for config in "${configs[@]}"; do
     echo "=== [$config] FAIL"
     failed+=("$config")
   fi
+
+  # Second leg: re-run the concurrency-sensitive tests with a forced
+  # 4-lane par:: pool so the parallel kernel/evaluator paths are exercised
+  # under each sanitizer even on boxes where hardware_concurrency is 1
+  # (where the default pool would be serial and TSan would see no threads).
+  par_log="$build_dir/ctest-$config-threads4.log"
+  echo "=== [$config] ctest EMBSR_THREADS=4 (log: $par_log)"
+  # ctest registers gtest-discovered names (suite.case), so the filter
+  # matches the suites from par_test, kernel_equiv_test, determinism_test
+  # and obs_race_test.
+  if (cd "$build_dir" && EMBSR_THREADS=4 ctest --output-on-failure \
+        -R '^(ParFor|ThreadPool|KernelEquivTest|DeterminismTest|ObsRaceTest)\.' \
+        2>&1 | tee "$par_log"); then
+    echo "=== [$config threads=4] PASS"
+  else
+    echo "=== [$config threads=4] FAIL"
+    failed+=("$config-threads4")
+  fi
 done
 
 if [[ ${#failed[@]} -gt 0 ]]; then

@@ -86,24 +86,12 @@ Variable AddRowBroadcast(const Variable& a, const Variable& row) {
 Variable MulRowBroadcast(const Variable& a, const Variable& row) {
   EMBSR_CHECK_EQ(a.value().ndim(), 2);
   EMBSR_CHECK_EQ(row.value().size(), a.value().dim(1));
-  const int64_t n = a.value().dim(0), d = a.value().dim(1);
-  Tensor out({n, d});
-  const float* pa = a.value().data();
-  const float* pr = row.value().data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < d; ++j) out.data()[i * d + j] = pa[i * d + j] * pr[j];
-  }
+  Tensor out = embsr::MulRowBroadcast(a.value(), row.value());
   auto an = a.node();
   auto rn = row.node();
-  return MakeOp(std::move(out), {a, row}, [an, rn, n, d](Node* o) {
+  return MakeOp(std::move(out), {a, row}, [an, rn](Node* o) {
     if (an->requires_grad) {
-      Tensor ga({n, d});
-      const float* pg = o->grad.data();
-      const float* pr = rn->value.data();
-      for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < d; ++j) ga.data()[i * d + j] = pg[i * d + j] * pr[j];
-      }
-      an->AccumulateGrad(ga);
+      an->AccumulateGrad(embsr::MulRowBroadcast(o->grad, rn->value));
     }
     if (rn->requires_grad) {
       Tensor gr = embsr::SumRowsTo1xD(embsr::Mul(o->grad, an->value));

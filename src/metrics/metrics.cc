@@ -22,6 +22,24 @@ int RankOfTarget(const std::vector<float>& scores, int64_t target) {
   return rank;
 }
 
+std::vector<int64_t> TopKIndices(const std::vector<float>& scores, size_t k) {
+  const size_t n = scores.size();
+  k = std::min(k, n);
+  std::vector<int64_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int64_t>(i);
+  const auto better = [&scores](int64_t a, int64_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;  // same tie-break as RankOfTarget: lower id ranks ahead
+  };
+  if (k < n) {
+    std::nth_element(idx.begin(), idx.begin() + static_cast<int64_t>(k),
+                     idx.end(), better);
+    idx.resize(k);
+  }
+  std::sort(idx.begin(), idx.end(), better);
+  return idx;
+}
+
 void RankAccumulator::Add(int rank) {
   EMBSR_CHECK_GE(rank, 1);
   ranks_.push_back(rank);

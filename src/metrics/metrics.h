@@ -1,6 +1,7 @@
 #ifndef EMBSR_METRICS_METRICS_H_
 #define EMBSR_METRICS_METRICS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -13,6 +14,14 @@ namespace embsr {
 /// rank is 1 + (#items strictly better) + (#equal-score items with lower id),
 /// which keeps evaluation deterministic.
 int RankOfTarget(const std::vector<float>& scores, int64_t target);
+
+/// Indices of the k highest-scoring items, best first, without sorting the
+/// whole score vector (nth_element partition, then only the top-k slice is
+/// sorted — O(n + k log k)). Ties break deterministically toward the lower
+/// item id, matching RankOfTarget's convention. `k` is clamped to
+/// `scores.size()`.
+std::vector<int64_t> TopKIndices(const std::vector<float>& scores,
+                                 std::size_t k);
 
 /// Accumulates ranks of test predictions and reports HR@K / MRR@K (the
 /// paper's H@K and M@K, Eq. 21–22), as percentages.

@@ -299,10 +299,20 @@ ag::Variable NeuralSessionModel::LossOn(const Example& ex) {
 
 std::vector<float> NeuralSessionModel::ScoreAll(const Example& ex) {
   EMBSR_TIMED_SPAN("model/score_all", "model/score_all_ms");
-  const bool was_training = training();
-  SetTraining(false);
+  // Only toggle the mode flag if the model is actually in training mode.
+  // When it is already in eval mode — the steady state after Fit(), and the
+  // state the parallel evaluator pins via EnsureEvalMode() — this method
+  // must not write any shared model state: concurrent ScoreAll calls from
+  // evaluator threads rely on the forward pass being read-only.
+  if (training()) {
+    SetTraining(false);
+    ag::Variable logits = Logits(ex);
+    SetTraining(true);
+    const Tensor& v = logits.value();
+    EMBSR_CHECK_EQ(v.size(), num_items_);
+    return v.vec();
+  }
   ag::Variable logits = Logits(ex);
-  SetTraining(was_training);
   const Tensor& v = logits.value();
   EMBSR_CHECK_EQ(v.size(), num_items_);
   return v.vec();

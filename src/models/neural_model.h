@@ -30,6 +30,10 @@ class NeuralSessionModel : public Recommender, public nn::Module {
 
   std::vector<float> ScoreAll(const Example& ex) override;
 
+  /// Drops the module tree into eval mode (training() == false), after which
+  /// ScoreAll is a pure read of parameters and safe to call concurrently.
+  void EnsureEvalMode() override { SetTraining(false); }
+
   /// Differentiable training loss on one example: softmax cross-entropy of
   /// Logits(ex) against the example's target. This is exactly the per-example
   /// term the training loop optimizes; it is public so external verifiers

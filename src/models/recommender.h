@@ -46,7 +46,18 @@ class Recommender {
 
   /// Scores all items for one example; the returned vector has
   /// `num_items` entries, higher = more likely next item.
+  ///
+  /// Thread-safety contract: after EnsureEvalMode() returns, concurrent
+  /// ScoreAll calls from multiple threads must be safe — the evaluator
+  /// fans examples out across the par:: pool. In practice this means the
+  /// scoring path must be read-only on model state.
   virtual std::vector<float> ScoreAll(const Example& ex) = 0;
+
+  /// Pins the model into evaluation mode so that subsequent ScoreAll calls
+  /// mutate no shared state (see the contract above). Called once by the
+  /// evaluator before its parallel scoring loop. Default: no-op, which is
+  /// correct for stateless/baseline scorers.
+  virtual void EnsureEvalMode() {}
 };
 
 }  // namespace embsr

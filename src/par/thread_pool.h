@@ -1,0 +1,113 @@
+#ifndef EMBSR_PAR_THREAD_POOL_H_
+#define EMBSR_PAR_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace embsr {
+namespace par {
+
+/// Deterministic fork-join thread pool — the substrate under every parallel
+/// kernel and loop in this repo.
+///
+/// Design constraints, in priority order:
+///   1. *Determinism.* The pool never decides what work exists — callers
+///      split an index range into fixed chunks and the pool only decides
+///      which thread runs which chunk. As long as chunk outputs are
+///      disjoint and each chunk's computation is self-contained (the kernel
+///      contract, DESIGN.md §11), results are bit-identical at every thread
+///      count, including 1.
+///   2. *Serial fallback.* `EMBSR_THREADS=1` (or a pool sized 1) runs every
+///      task inline on the calling thread — no worker threads are spawned
+///      at all, so the serial path is exactly the pre-pool code path.
+///   3. *No nesting.* A task submitted from inside a pool worker runs
+///      inline on that worker. This makes "parallel outer loop, serial
+///      inner kernels" the automatic behaviour for nested parallelism
+///      (e.g. a parallel evaluator calling parallel MatMul), which is what
+///      preserves per-cell determinism in experiment sweeps.
+///
+/// Scheduling is a shared atomic chunk cursor (self-balancing, no work
+/// stealing, no per-thread deques); the submitting thread participates in
+/// the chunk loop, so a pool of N threads applies N+1-way effective
+/// parallelism only when workers are otherwise idle and degrades to the
+/// caller doing everything if workers are busy.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining lane).
+  /// `threads <= 1` spawns nothing and makes Run() purely inline.
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers; outstanding Run() calls must have returned.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured lane count (workers + the calling thread), >= 1.
+  int threads() const { return threads_; }
+
+  /// Executes `fn(chunk)` for every chunk in [0, num_chunks). Blocks until
+  /// all chunks finished. Chunks are claimed dynamically but each runs
+  /// exactly once. The first exception thrown by any chunk is rethrown on
+  /// the calling thread after the task set drains (remaining chunks are
+  /// skipped, not interrupted). Calls from inside a worker run inline.
+  /// Concurrent external Run() calls are serialized.
+  void Run(int64_t num_chunks, const std::function<void(int64_t)>& fn);
+
+  /// True while the current thread is executing pool work — as a worker or
+  /// as a submitter participating in its own task set. Used to suppress
+  /// nested parallelism.
+  static bool InParallelRegion();
+
+  /// Process-global pool, lazily sized from EMBSR_THREADS (default: the
+  /// hardware concurrency; 1 = strict serial). See also SetThreadCount.
+  static ThreadPool& Global();
+
+ private:
+  struct TaskSet;
+
+  void WorkerLoop();
+  void RunChunks(TaskSet* task);
+
+  const int threads_;
+  // lint: allow(raw-thread): the pool is the one sanctioned thread owner
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // guards task_ and stop_
+  std::condition_variable wake_;   // workers wait here for a task set
+  std::condition_variable done_;   // submitter waits here for completion
+  std::shared_ptr<TaskSet> task_;  // currently running task set, if any
+  bool stop_ = false;
+
+  std::mutex run_mu_;  // serializes external Run() submissions
+};
+
+/// Lane count of the global pool (>= 1): the effective value of
+/// EMBSR_THREADS after defaulting and clamping, or the SetThreadCount
+/// override.
+int ThreadCount();
+
+/// Replaces the global pool with one of `threads` lanes (<= 0 restores the
+/// EMBSR_THREADS/default sizing). Blocks until the old pool drains. For
+/// tests and benchmarks that sweep thread counts; not safe to call
+/// concurrently with in-flight parallel work.
+void SetThreadCount(int threads);
+
+/// Splits [begin, end) into contiguous chunks of at most `grain` indices
+/// and runs `fn(chunk_begin, chunk_end)` for each on the global pool.
+/// Every index is covered exactly once. Runs inline — no pool touch at
+/// all — when the range fits one chunk, the pool is serial, or the caller
+/// is already a pool worker.
+void For(int64_t begin, int64_t end, int64_t grain,
+         const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace par
+}  // namespace embsr
+
+#endif  // EMBSR_PAR_THREAD_POOL_H_

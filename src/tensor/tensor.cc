@@ -1,10 +1,12 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <sstream>
 
+#include "par/thread_pool.h"
 #include "util/check.h"
 
 namespace embsr {
@@ -224,8 +226,27 @@ float Tensor::L2Norm() const {
 }
 
 // -- Free kernels ------------------------------------------------------------
+//
+// Parallelization contract (DESIGN.md §11): every kernel below partitions its
+// OUTPUT index space across threads and never splits or reorders the
+// reduction that produces a single output element. Each element is therefore
+// computed by exactly one thread, in exactly the order the old serial kernel
+// used — results are bit-identical to the frozen tensor::ref:: oracles at
+// every thread count, including EMBSR_THREADS=1 (which runs this very code
+// inline with no pool involvement at all).
 
 namespace {
+
+// Minimum elements of work per chunk. Ranges at or below one grain run
+// inline (par::For never touches the pool for a single chunk), so small
+// tensors pay zero synchronization overhead.
+constexpr int64_t kElemGrain = 1 << 13;  // elementwise kernels
+constexpr int64_t kRowGrainElems = 1 << 12;  // row kernels: grain rows = this / row width
+constexpr int64_t kMatMulGrainFlops = 1 << 14;  // matmul: grain rows = this / (k * m)
+
+int64_t RowGrain(int64_t row_width) {
+  return std::max<int64_t>(1, kRowGrainElems / std::max<int64_t>(1, row_width));
+}
 
 template <typename F>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
@@ -234,8 +255,9 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  par::For(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+  });
   return out;
 }
 
@@ -244,8 +266,9 @@ Tensor UnaryOp(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  par::For(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+  });
   return out;
 }
 
@@ -270,9 +293,27 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
   const int64_t n = a.dim(0), d = a.dim(1);
   const float* pr = row.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < d; ++j) po[i * d + j] += pr[j];
-  }
+  par::For(0, n, RowGrain(d), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < d; ++j) po[i * d + j] += pr[j];
+    }
+  });
+  return out;
+}
+
+Tensor MulRowBroadcast(const Tensor& a, const Tensor& row) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  EMBSR_CHECK_EQ(row.size(), a.dim(1));
+  const int64_t n = a.dim(0), d = a.dim(1);
+  Tensor out({n, d});
+  const float* pa = a.data();
+  const float* pr = row.data();
+  float* po = out.data();
+  par::For(0, n, RowGrain(d), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < d; ++j) po[i * d + j] = pa[i * d + j] * pr[j];
+    }
+  });
   return out;
 }
 
@@ -317,19 +358,36 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // ikj loop order for cache-friendly access to b and out.
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * m;
+  // Row-parallel, cache-blocked ikj. Each thread owns a contiguous block of
+  // output rows; within a row, columns are tiled 64 wide so the active slices
+  // of b and out stay cache-resident across the k sweep. Every out[i][j]
+  // still accumulates av * b[kk][j] for kk ascending (with the same
+  // zero-skip), so the float summation order — and hence the result — is
+  // bit-identical to the serial ref:: kernel at every thread count.
+  constexpr int64_t kTile = 64;
+  const int64_t grain =
+      std::max<int64_t>(1, kMatMulGrainFlops / std::max<int64_t>(1, k * m));
+  par::For(0, n, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = pa + i * k;
       float* orow = po + i * m;
-      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+      for (int64_t jb = 0; jb < m; jb += kTile) {
+        const int64_t je = std::min<int64_t>(jb + kTile, m);
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * m;
+          for (int64_t j = jb; j < je; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
+// SumAll / SumRowsTo1xD / MeanAll reduce ACROSS the would-be partition axis,
+// so any split would reorder the float summation; they stay serial by the
+// kernel contract (DESIGN.md §11).
 Tensor SumAll(const Tensor& a) {
   double acc = 0.0;
   for (int64_t i = 0; i < a.size(); ++i) acc += a.data()[i];
@@ -350,11 +408,15 @@ Tensor SumColsToNx1(const Tensor& a) {
   EMBSR_CHECK_EQ(a.ndim(), 2);
   const int64_t n = a.dim(0), d = a.dim(1);
   Tensor out({n, 1});
-  for (int64_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (int64_t j = 0; j < d; ++j) acc += a.data()[i * d + j];
-    out.data()[i] = static_cast<float>(acc);
-  }
+  const float* pa = a.data();
+  float* po = out.data();
+  par::For(0, n, RowGrain(d), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j) acc += pa[i * d + j];
+      po[i] = static_cast<float>(acc);
+    }
+  });
   return out;
 }
 
@@ -369,19 +431,23 @@ Tensor RowSoftmax(const Tensor& a) {
   EMBSR_CHECK_EQ(a.ndim(), 2);
   const int64_t n = a.dim(0), m = a.dim(1);
   Tensor out(a.shape());
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = a.data() + i * m;
-    float* orow = out.data() + i * m;
-    float mx = row[0];
-    for (int64_t j = 1; j < m; ++j) mx = std::max(mx, row[j]);
-    double z = 0.0;
-    for (int64_t j = 0; j < m; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      z += orow[j];
+  const float* pa = a.data();
+  float* po = out.data();
+  par::For(0, n, RowGrain(m), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = pa + i * m;
+      float* orow = po + i * m;
+      float mx = row[0];
+      for (int64_t j = 1; j < m; ++j) mx = std::max(mx, row[j]);
+      double z = 0.0;
+      for (int64_t j = 0; j < m; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        z += orow[j];
+      }
+      const float inv = static_cast<float>(1.0 / z);
+      for (int64_t j = 0; j < m; ++j) orow[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / z);
-    for (int64_t j = 0; j < m; ++j) orow[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -389,48 +455,78 @@ Tensor RowSoftmaxMasked(const Tensor& a, const Tensor& mask) {
   EMBSR_CHECK(a.shape() == mask.shape());
   EMBSR_CHECK_EQ(a.ndim(), 2);
   const int64_t n = a.dim(0), m = a.dim(1);
-  Tensor masked = a;
-  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
-  for (int64_t i = 0; i < n * m; ++i) {
-    if (mask.data()[i] == 0.0f) masked.data()[i] = kNegInf;
-  }
   // Rows that are entirely masked produce uniform outputs over zero weight;
   // guard by checking the max.
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
   Tensor out(a.shape());
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = masked.data() + i * m;
-    float* orow = out.data() + i * m;
-    float mx = kNegInf;
-    for (int64_t j = 0; j < m; ++j) mx = std::max(mx, row[j]);
-    if (mx == kNegInf) {
-      for (int64_t j = 0; j < m; ++j) orow[j] = 0.0f;
-      continue;
+  const float* pa = a.data();
+  const float* pm = mask.data();
+  float* po = out.data();
+  par::For(0, n, RowGrain(m), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = pa + i * m;
+      const float* mrow = pm + i * m;
+      float* orow = po + i * m;
+      float mx = kNegInf;
+      for (int64_t j = 0; j < m; ++j) {
+        if (mrow[j] != 0.0f) mx = std::max(mx, arow[j]);
+      }
+      if (mx == kNegInf) {
+        for (int64_t j = 0; j < m; ++j) orow[j] = 0.0f;
+        continue;
+      }
+      double z = 0.0;
+      for (int64_t j = 0; j < m; ++j) {
+        orow[j] = mrow[j] == 0.0f ? 0.0f : std::exp(arow[j] - mx);
+        z += orow[j];
+      }
+      const float inv = static_cast<float>(1.0 / z);
+      for (int64_t j = 0; j < m; ++j) orow[j] *= inv;
     }
-    double z = 0.0;
-    for (int64_t j = 0; j < m; ++j) {
-      orow[j] = row[j] == kNegInf ? 0.0f : std::exp(row[j] - mx);
-      z += orow[j];
+  });
+  return out;
+}
+
+Tensor RowLogSumExp(const Tensor& a) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0), m = a.dim(1);
+  Tensor out({n, 1});
+  const float* pa = a.data();
+  float* po = out.data();
+  par::For(0, n, RowGrain(m), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = pa + i * m;
+      float mx = row[0];
+      for (int64_t j = 1; j < m; ++j) mx = std::max(mx, row[j]);
+      double z = 0.0;
+      for (int64_t j = 0; j < m; ++j) z += std::exp(row[j] - mx);
+      po[i] = mx + static_cast<float>(std::log(z));
     }
-    const float inv = static_cast<float>(1.0 / z);
-    for (int64_t j = 0; j < m; ++j) orow[j] *= inv;
-  }
+  });
   return out;
 }
 
 Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices) {
   EMBSR_CHECK_EQ(table.ndim(), 2);
   const int64_t d = table.dim(1);
-  Tensor out({static_cast<int64_t>(indices.size()), d});
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int64_t r = indices[i];
-    EMBSR_CHECK_GE(r, 0);
-    EMBSR_CHECK_LT(r, table.dim(0));
-    std::memcpy(out.data() + static_cast<int64_t>(i) * d,
-                table.data() + r * d, sizeof(float) * d);
-  }
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Tensor out({n, d});
+  const float* pt = table.data();
+  float* po = out.data();
+  par::For(0, n, RowGrain(d), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int64_t r = indices[static_cast<size_t>(i)];
+      EMBSR_CHECK_GE(r, 0);
+      EMBSR_CHECK_LT(r, table.dim(0));
+      std::memcpy(po + i * d, pt + r * d, sizeof(float) * d);
+    }
+  });
   return out;
 }
 
+// ScatterAddRows stays serial: duplicate indices make destination rows
+// overlap across iterations, so a partition over i would race and a
+// partition over table rows would still need the full index scan per chunk.
 void ScatterAddRows(const Tensor& grad_rows,
                     const std::vector<int64_t>& indices, Tensor* grad_table) {
   EMBSR_CHECK(grad_table != nullptr);
@@ -455,12 +551,15 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   EMBSR_CHECK_EQ(a.dim(0), b.dim(0));
   const int64_t n = a.dim(0), da = a.dim(1), db = b.dim(1);
   Tensor out({n, da + db});
-  for (int64_t i = 0; i < n; ++i) {
-    std::memcpy(out.data() + i * (da + db), a.data() + i * da,
-                sizeof(float) * da);
-    std::memcpy(out.data() + i * (da + db) + da, b.data() + i * db,
-                sizeof(float) * db);
-  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  par::For(0, n, RowGrain(da + db), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      std::memcpy(po + i * (da + db), pa + i * da, sizeof(float) * da);
+      std::memcpy(po + i * (da + db) + da, pb + i * db, sizeof(float) * db);
+    }
+  });
   return out;
 }
 
@@ -479,16 +578,22 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
   EMBSR_CHECK_EQ(a.ndim(), 2);
   const int64_t n = a.dim(0), d = a.dim(1);
   Tensor out(a.shape());
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = a.data() + i * d;
-    float* orow = out.data() + i * d;
-    double acc = 0.0;
-    for (int64_t j = 0; j < d; ++j) acc += static_cast<double>(row[j]) * row[j];
-    const double norm = std::sqrt(acc);
-    if (norm < eps) continue;  // leave the zero row zero
-    const float inv = static_cast<float>(1.0 / norm);
-    for (int64_t j = 0; j < d; ++j) orow[j] = row[j] * inv;
-  }
+  const float* pa = a.data();
+  float* po = out.data();
+  par::For(0, n, RowGrain(d), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = pa + i * d;
+      float* orow = po + i * d;
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        acc += static_cast<double>(row[j]) * row[j];
+      }
+      const double norm = std::sqrt(acc);
+      if (norm < eps) continue;  // leave the zero row zero
+      const float inv = static_cast<float>(1.0 / norm);
+      for (int64_t j = 0; j < d; ++j) orow[j] = row[j] * inv;
+    }
+  });
   return out;
 }
 

@@ -107,6 +107,10 @@ Tensor Mul(const Tensor& a, const Tensor& b);
 /// Adds a [1, d] (or rank-1 length-d) bias row to every row of a [n, d].
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& row);
 
+/// Multiplies every row of a [n, d] elementwise by a [1, d] (or rank-1
+/// length-d) row.
+Tensor MulRowBroadcast(const Tensor& a, const Tensor& row);
+
 Tensor Scale(const Tensor& a, float s);
 Tensor AddScalar(const Tensor& a, float s);
 Tensor Neg(const Tensor& a);
@@ -134,6 +138,10 @@ Tensor RowSoftmax(const Tensor& a);
 /// Row-wise softmax with additive mask: entries where mask==0 get -inf
 /// before the softmax. `mask` is [n, m] of 0/1.
 Tensor RowSoftmaxMasked(const Tensor& a, const Tensor& mask);
+
+/// Row-wise log(sum(exp(x))) of a rank-2 tensor (numerically stabilized):
+/// [n, m] -> [n, 1].
+Tensor RowLogSumExp(const Tensor& a);
 
 /// Gathers rows of `table` ([v, d]) at `indices` -> [indices.size(), d].
 Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices);

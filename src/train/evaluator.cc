@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -29,14 +30,24 @@ EvalResult Evaluate(Recommender* model, const std::vector<Example>& test,
   RankAccumulator acc;
   const size_t n =
       max_examples == 0 ? test.size() : std::min(test.size(), max_examples);
-  result.ranks.reserve(n);
   WallTimer timer;
-  for (size_t i = 0; i < n; ++i) {
-    const std::vector<float> scores = model->ScoreAll(test[i]);
-    const int rank = RankOfTarget(scores, test[i].target);
-    acc.Add(rank);
-    result.ranks.push_back(rank);
-  }
+  // Examples are scored in parallel: each loop index owns exactly one slot
+  // of the preallocated rank vector, so the merged result is in example
+  // order regardless of which thread scored what. The model must be pinned
+  // in eval mode first so ScoreAll is read-only (see Recommender's
+  // thread-safety contract); per-example model work (e.g. parallel MatMul)
+  // automatically runs serially inside the pool, keeping each example's
+  // scores bit-identical to a serial evaluation.
+  model->EnsureEvalMode();
+  result.ranks.assign(n, 0);
+  par::For(0, static_cast<int64_t>(n), 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const Example& ex = test[static_cast<size_t>(i)];
+      const std::vector<float> scores = model->ScoreAll(ex);
+      result.ranks[static_cast<size_t>(i)] = RankOfTarget(scores, ex.target);
+    }
+  });
+  for (int rank : result.ranks) acc.Add(rank);
   const double seconds = timer.ElapsedSeconds();
   example_counter->Add(static_cast<int64_t>(n));
   if (seconds > 0.0) {

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 #include "robust/failpoint.h"
 #include "train/model_zoo.h"
 #include "util/check.h"
@@ -75,6 +76,26 @@ ExperimentResult RunExperiment(const std::string& model_name,
                           ? result.eval.report.hit.at(20)
                           : 0.0);
   return result;
+}
+
+std::vector<ExperimentResult> RunExperimentCells(
+    const std::vector<std::string>& model_names, const ProcessedDataset& data,
+    const TrainConfig& config, const std::vector<int>& ks, size_t max_test) {
+  EMBSR_TRACE_SPAN("experiment/cells");
+  std::vector<ExperimentResult> results(model_names.size());
+  // Grain 1: one cell per chunk. Each loop index writes only its own slot,
+  // so the sweep result is in model_names order no matter which thread ran
+  // which cell; the pool's no-nesting rule makes the inside of every cell
+  // serial, which is what keeps per-cell numbers independent of the sweep.
+  par::For(0, static_cast<int64_t>(model_names.size()), 1,
+           [&](int64_t lo, int64_t hi) {
+             for (int64_t i = lo; i < hi; ++i) {
+               const auto idx = static_cast<size_t>(i);
+               results[idx] = RunExperiment(model_names[idx], data, config,
+                                            ks, max_test);
+             }
+           });
+  return results;
 }
 
 TrainConfig BenchTrainConfig() {

@@ -32,6 +32,19 @@ ExperimentResult RunExperiment(const std::string& model_name,
                                const std::vector<int>& ks,
                                size_t max_test = 0);
 
+/// Runs one cell per model name in parallel on the par:: pool and returns
+/// the cells in input order. Each cell is self-contained (its own model,
+/// its own per-cell RNG seeded from `config`), and everything inside a cell
+/// — training, kernels, evaluation — runs serially within that cell because
+/// nested parallelism is suppressed, so every cell's numbers are
+/// bit-identical to what a standalone RunExperiment call produces at any
+/// EMBSR_THREADS setting. Failed cells are reported in-place, as in
+/// RunExperiment.
+std::vector<ExperimentResult> RunExperimentCells(
+    const std::vector<std::string>& model_names, const ProcessedDataset& data,
+    const TrainConfig& config, const std::vector<int>& ks,
+    size_t max_test = 0);
+
 /// The CPU-scaled default training configuration used by the benchmark
 /// harnesses; honors EMBSR_BENCH_SCALE for epochs/sample counts.
 TrainConfig BenchTrainConfig();

@@ -51,6 +51,24 @@ std::vector<std::string> DeclaredModelNames(const std::string& model_zoo_cc) {
   return MatchAll(model_zoo_cc, kModelName);
 }
 
+std::vector<std::string> DeclaredTensorKernelNames(
+    const std::string& tensor_header) {
+  // House style: free kernels are declared at line start returning Tensor,
+  // void (in-place scatter) or float (scalar reductions). Member functions
+  // are indented, so the line anchor skips the Tensor class body.
+  static const std::regex kKernelDecl(R"(^(?:Tensor|void|float) (\w+)\()",
+                                      std::regex::multiline);
+  return MatchAll(tensor_header, kKernelDecl);
+}
+
+std::vector<std::string> CoveredKernelEquivNames(
+    const std::string& kernel_equiv_test_cc) {
+  // The trailing semicolon distinguishes marker *uses* from the macro's own
+  // #define line and from prose mentions in comments.
+  static const std::regex kCoverMarker(R"(EMBSR_KERNEL_EQUIV\((\w+)\);)");
+  return MatchAll(kernel_equiv_test_cc, kCoverMarker);
+}
+
 Result<std::vector<std::string>> ScanOpNames(const std::string& repo_root) {
   return ScanFile(repo_root + "/src/autograd/ops.h", &DeclaredOpNames);
 }
@@ -61,6 +79,18 @@ Result<std::vector<std::string>> ScanLayerNames(const std::string& repo_root) {
 
 Result<std::vector<std::string>> ScanModelNames(const std::string& repo_root) {
   return ScanFile(repo_root + "/src/train/model_zoo.cc", &DeclaredModelNames);
+}
+
+Result<std::vector<std::string>> ScanTensorKernelNames(
+    const std::string& repo_root) {
+  return ScanFile(repo_root + "/src/tensor/tensor.h",
+                  &DeclaredTensorKernelNames);
+}
+
+Result<std::vector<std::string>> ScanKernelEquivCoverage(
+    const std::string& repo_root) {
+  return ScanFile(repo_root + "/tests/kernel_equiv_test.cc",
+                  &CoveredKernelEquivNames);
 }
 
 }  // namespace verify

@@ -30,11 +30,27 @@ std::vector<std::string> DeclaredLayerNames(const std::string& layers_header);
 /// string literal compared against `name ==`. Sorted, unique.
 std::vector<std::string> DeclaredModelNames(const std::string& model_zoo_cc);
 
-/// Convenience: reads and scans the three files under `repo_root`
-/// (src/autograd/ops.h, src/nn/layers.h, src/train/model_zoo.cc).
+/// Names of tensor kernels declared as free functions in tensor/tensor.h,
+/// i.e. every `Tensor Name(...)`, `void Name(...)` or `float Name(...)` at
+/// line start. Sorted, unique.
+std::vector<std::string> DeclaredTensorKernelNames(
+    const std::string& tensor_header);
+
+/// Kernel names covered by tests/kernel_equiv_test.cc, i.e. every
+/// `EMBSR_KERNEL_EQUIV(Name)` coverage marker. Sorted, unique.
+std::vector<std::string> CoveredKernelEquivNames(
+    const std::string& kernel_equiv_test_cc);
+
+/// Convenience: reads and scans the named files under `repo_root`
+/// (src/autograd/ops.h, src/nn/layers.h, src/train/model_zoo.cc,
+/// src/tensor/tensor.h, tests/kernel_equiv_test.cc).
 Result<std::vector<std::string>> ScanOpNames(const std::string& repo_root);
 Result<std::vector<std::string>> ScanLayerNames(const std::string& repo_root);
 Result<std::vector<std::string>> ScanModelNames(const std::string& repo_root);
+Result<std::vector<std::string>> ScanTensorKernelNames(
+    const std::string& repo_root);
+Result<std::vector<std::string>> ScanKernelEquivCoverage(
+    const std::string& repo_root);
 
 }  // namespace verify
 }  // namespace embsr

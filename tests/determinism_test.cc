@@ -12,6 +12,7 @@
 #include "datagen/generator.h"
 #include "gtest/gtest.h"
 #include "models/neural_model.h"
+#include "par/thread_pool.h"
 #include "train/evaluator.h"
 #include "train/model_zoo.h"
 #include "util/check.h"
@@ -82,6 +83,44 @@ TEST(DeterminismTest, TwoRunsBitIdenticalEMBSR) {
   ExpectBitIdentical(first.params, second.params);
   EXPECT_EQ(first.report.hit, second.report.hit);
   EXPECT_EQ(first.report.mrr, second.report.mrr);
+}
+
+// The parallel layer must not cost determinism: kernels partition outputs
+// and never reorder a per-element reduction (DESIGN.md §11), so a 4-lane
+// pool produces bit-for-bit the same parameters and metrics as the strict
+// serial pool — not merely "close". This is the EMBSR_THREADS=4 leg the
+// sanitizer matrix re-runs under TSan.
+TEST(DeterminismTest, FourThreadsBitIdenticalToSerial) {
+  par::SetThreadCount(1);
+  const RunOutcome serial = TrainOnce("EMBSR");
+  par::SetThreadCount(4);
+  const RunOutcome parallel = TrainOnce("EMBSR");
+  par::SetThreadCount(0);
+  ExpectBitIdentical(serial.params, parallel.params);
+  EXPECT_EQ(serial.report.hit, parallel.report.hit);
+  EXPECT_EQ(serial.report.mrr, parallel.report.mrr);
+}
+
+// The documented cross-machine contract is looser than the bitwise one the
+// previous test pins for this build: metric values agree within float
+// round-off tolerance between serial and parallel evaluation. Kept as a
+// separate leg so a future kernel that legitimately trades bitwise equality
+// for speed (and downgrades §11) still has an explicit bar to clear.
+TEST(DeterminismTest, SerialVsParallelEvaluationWithinTolerance) {
+  par::SetThreadCount(1);
+  const RunOutcome serial = TrainOnce("GRU4Rec");
+  par::SetThreadCount(4);
+  const RunOutcome parallel = TrainOnce("GRU4Rec");
+  par::SetThreadCount(0);
+  ASSERT_EQ(serial.report.hit.size(), parallel.report.hit.size());
+  for (const auto& [k, v] : serial.report.hit) {
+    ASSERT_TRUE(parallel.report.hit.count(k)) << "missing hit@" << k;
+    EXPECT_NEAR(v, parallel.report.hit.at(k), 1e-6) << "hit@" << k;
+  }
+  for (const auto& [k, v] : serial.report.mrr) {
+    ASSERT_TRUE(parallel.report.mrr.count(k)) << "missing mrr@" << k;
+    EXPECT_NEAR(v, parallel.report.mrr.at(k), 1e-6) << "mrr@" << k;
+  }
 }
 
 }  // namespace

@@ -107,6 +107,39 @@ TEST_F(GradCheckSuite, SourceScanFindsKnownNames) {
   }
 }
 
+TEST_F(GradCheckSuite, EveryTensorKernelHasAnEquivalenceCase) {
+  // Parallel-kernel coverage: every free kernel declared in tensor/tensor.h
+  // must carry an EMBSR_KERNEL_EQUIV marker in tests/kernel_equiv_test.cc,
+  // where it is property-tested against its frozen serial ref:: oracle at
+  // several thread counts. Adding a kernel without wiring the equivalence
+  // test fails here.
+  const auto declared = ScanTensorKernelNames(EMBSR_REPO_ROOT);
+  ASSERT_TRUE(declared.ok()) << declared.status().ToString();
+  EXPECT_GE(declared.value().size(), 26u);
+  for (const char* must : {"MatMul", "RowSoftmax", "RowLogSumExp",
+                           "MulRowBroadcast"}) {
+    EXPECT_TRUE(std::binary_search(declared.value().begin(),
+                                   declared.value().end(), std::string(must)))
+        << "scanner no longer finds kernel '" << must
+        << "' — the regex in source_scan.cc rotted";
+  }
+  const auto covered = ScanKernelEquivCoverage(EMBSR_REPO_ROOT);
+  ASSERT_TRUE(covered.ok()) << covered.status().ToString();
+  for (const std::string& name : declared.value()) {
+    EXPECT_TRUE(std::binary_search(covered.value().begin(),
+                                   covered.value().end(), name))
+        << "kernel '" << name << "' is declared in src/tensor/tensor.h but "
+        << "has no EMBSR_KERNEL_EQUIV case in tests/kernel_equiv_test.cc";
+  }
+  // Inverse direction: a marker for a kernel that no longer exists means
+  // the equivalence suite tests dead code.
+  for (const std::string& name : covered.value()) {
+    EXPECT_TRUE(std::binary_search(declared.value().begin(),
+                                   declared.value().end(), name))
+        << "EMBSR_KERNEL_EQUIV(" << name << ") matches no declared kernel";
+  }
+}
+
 TEST_F(GradCheckSuite, EveryZooModelGradChecksEndToEnd) {
   const auto models = ScanModelNames(EMBSR_REPO_ROOT);
   ASSERT_TRUE(models.ok()) << models.status().ToString();

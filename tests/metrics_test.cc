@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/rng.h"
 
 namespace embsr {
@@ -119,6 +121,46 @@ TEST(WilcoxonTest, SymmetricInArguments) {
     b.push_back(rng.Uniform());
   }
   EXPECT_NEAR(WilcoxonSignedRankP(a, b), WilcoxonSignedRankP(b, a), 1e-12);
+}
+
+TEST(TopKIndicesTest, ReturnsTopScoresInDescendingOrder) {
+  const std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f, 0.3f};
+  EXPECT_EQ(TopKIndices(scores, 3), (std::vector<int64_t>{1, 3, 2}));
+}
+
+TEST(TopKIndicesTest, TiesBreakTowardLowerIndex) {
+  const std::vector<float> scores = {0.5f, 0.9f, 0.5f, 0.9f, 0.5f};
+  EXPECT_EQ(TopKIndices(scores, 4), (std::vector<int64_t>{1, 3, 0, 2}));
+}
+
+TEST(TopKIndicesTest, KLargerThanNClampsToFullRanking) {
+  const std::vector<float> scores = {0.2f, 0.8f, 0.4f};
+  EXPECT_EQ(TopKIndices(scores, 10), (std::vector<int64_t>{1, 2, 0}));
+}
+
+TEST(TopKIndicesTest, KZeroAndEmptyInput) {
+  EXPECT_TRUE(TopKIndices({0.1f, 0.2f}, 0).empty());
+  EXPECT_TRUE(TopKIndices({}, 5).empty());
+}
+
+TEST(TopKIndicesTest, AgreesWithRankOfTarget) {
+  // The partial top-k and the full ranking share one ordering: an item is in
+  // the top k exactly when RankOfTarget gives it rank <= k, and its position
+  // in the returned list is its rank - 1.
+  Rng rng(42);
+  std::vector<float> scores(101);
+  for (auto& s : scores) s = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  scores[17] = scores[63];  // force a tie
+  const size_t k = 10;
+  const std::vector<int64_t> top = TopKIndices(scores, k);
+  ASSERT_EQ(top.size(), k);
+  for (size_t pos = 0; pos < top.size(); ++pos) {
+    EXPECT_EQ(RankOfTarget(scores, top[pos]), static_cast<int>(pos) + 1);
+  }
+  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
+    const bool in_top = std::find(top.begin(), top.end(), i) != top.end();
+    EXPECT_EQ(in_top, RankOfTarget(scores, i) <= static_cast<int>(k)) << i;
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 
 namespace embsr {
 namespace obs {
@@ -96,6 +97,50 @@ TEST(ObsRaceTest, ConcurrentSpansAcrossStartStop) {
   session.Start("");
   ticker.join();
   EXPECT_TRUE(session.Stop().ok());
+}
+
+TEST(ObsRaceTest, PoolChunksHammerMetricsConcurrently) {
+  // The par:: pool and the obs registry meet on every parallel kernel (the
+  // pool publishes queue-depth/task gauges; kernels run under spans), so
+  // their interleavings must be race-free. Chunks from a 4-lane pool bump
+  // counters and observe histograms while external reader threads snapshot,
+  // all under the TSan leg of the sanitizer matrix.
+  par::SetThreadCount(4);
+  constexpr int kRounds = 50;
+  constexpr int64_t kChunks = 256;
+
+  std::atomic<bool> stop_readers{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&stop_readers] {
+      while (!stop_readers.load()) {
+        (void)Registry::Global().SnapshotJson();
+      }
+    });
+  }
+
+  Counter* hits = Registry::Global().GetCounter("race/pool_chunks");
+  Histogram* hist = Registry::Global().GetHistogram(
+      "race/pool_hist", DefaultLatencyBucketsMs());
+  for (int round = 0; round < kRounds; ++round) {
+    par::For(0, kChunks, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        hits->Increment();
+        hist->Observe(static_cast<double>(i % 32));
+        Registry::Global()
+            .GetCounter("race/pool_looked_up")
+            ->Increment();
+      }
+    });
+  }
+
+  stop_readers.store(true);
+  for (auto& th : readers) th.join();
+  par::SetThreadCount(0);
+
+  EXPECT_EQ(hits->value(), int64_t{kRounds} * kChunks);
+  EXPECT_EQ(Registry::Global().GetCounter("race/pool_looked_up")->value(),
+            int64_t{kRounds} * kChunks);
 }
 
 TEST(ObsRaceTest, TimingToggleRaces) {

@@ -1,0 +1,201 @@
+// Contract tests for the embsr::par substrate (src/par/thread_pool.*):
+// exact index coverage at several grains, inline nested execution, strict
+// serial fallback at EMBSR_THREADS=1 / SetThreadCount(1), exception
+// propagation with a reusable pool afterwards, and clean construction /
+// shutdown churn (the latter is what the TSan leg of the sanitizer matrix
+// hammers).
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "par/thread_pool.h"
+
+namespace embsr {
+namespace par {
+namespace {
+
+// Restores the default (EMBSR_THREADS / hardware) pool size when a test
+// that pins the thread count exits, however it exits.
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(int threads) { SetThreadCount(threads); }
+  ~ScopedThreadCount() { SetThreadCount(0); }
+};
+
+TEST(ParFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 3, 8}) {
+    ScopedThreadCount pin(threads);
+    for (int64_t grain : {int64_t{1}, int64_t{7}, int64_t{4096}}) {
+      for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{7}, int64_t{64},
+                        int64_t{1000}, int64_t{4096}, int64_t{10007}}) {
+        std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+        // Note: no upper bound on chunk width is asserted — grain is a
+        // scheduling hint, and the serial / single-chunk fast paths
+        // legitimately coalesce the whole range into one call.
+        For(0, n, grain, [&](int64_t lo, int64_t hi) {
+          ASSERT_LE(0, lo);
+          ASSERT_LE(lo, hi);
+          ASSERT_LE(hi, n);
+          for (int64_t i = lo; i < hi; ++i) {
+            hits[static_cast<size_t>(i)].fetch_add(1);
+          }
+        });
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+              << "threads=" << threads << " grain=" << grain << " n=" << n
+              << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParFor, NonZeroBeginIsRespected) {
+  ScopedThreadCount pin(4);
+  std::atomic<int64_t> sum{0};
+  For(100, 200, 9, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  // sum of [100, 200) = (100 + 199) * 100 / 2
+  EXPECT_EQ(sum.load(), 14950);
+}
+
+TEST(ParFor, EmptyAndReversedRangesRunNothing) {
+  ScopedThreadCount pin(4);
+  int calls = 0;
+  For(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  For(9, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParFor, SerialPoolRunsOnCallingThread) {
+  // The EMBSR_THREADS=1 contract: no workers exist, every chunk executes
+  // inline on the submitting thread — exactly the pre-pool serial path.
+  ScopedThreadCount pin(1);
+  EXPECT_EQ(ThreadCount(), 1);
+  const auto caller = std::this_thread::get_id();
+  int64_t covered = 0;
+  For(0, 1000, 7, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_FALSE(ThreadPool::InParallelRegion());
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered, 1000);
+}
+
+TEST(ParFor, SingleChunkRunsInlineEvenOnParallelPool) {
+  ScopedThreadCount pin(4);
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  For(0, 100, 4096, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 100);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParFor, NestedForRunsInlineOnTheSameThread) {
+  // Serial-inside-parallel: a For issued from inside a chunk must execute
+  // the inner range inline on the same thread, not deadlock or re-enter
+  // the pool.
+  ScopedThreadCount pin(4);
+  std::atomic<int64_t> inner_total{0};
+  For(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      EXPECT_TRUE(ThreadPool::InParallelRegion());
+      const auto outer_thread = std::this_thread::get_id();
+      For(0, 100, 3, [&](int64_t ilo, int64_t ihi) {
+        EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+        inner_total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 100);
+}
+
+TEST(ParFor, ExceptionPropagatesAndPoolSurvives) {
+  ScopedThreadCount pin(4);
+  EXPECT_THROW(
+      For(0, 1000, 1,
+          [&](int64_t lo, int64_t) {
+            if (lo == 500) throw std::runtime_error("chunk 500 failed");
+          }),
+      std::runtime_error);
+  // The pool must drain the failed task set completely and stay usable.
+  std::atomic<int64_t> covered{0};
+  For(0, 1000, 1, [&](int64_t lo, int64_t hi) { covered += hi - lo; });
+  EXPECT_EQ(covered.load(), 1000);
+}
+
+TEST(ParFor, ExceptionMessageIsTheFirstThrown) {
+  ScopedThreadCount pin(2);
+  try {
+    For(0, 4, 1, [&](int64_t, int64_t) {
+      throw std::runtime_error("boom");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ThreadPool, ConstructDestroyChurn) {
+  // Spawn/join churn with real work in between; run under TSan by the
+  // sanitizer matrix to pin clean startup/shutdown.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4);
+    std::atomic<int64_t> done{0};
+    pool.Run(64, [&](int64_t) { done.fetch_add(1); });
+    EXPECT_EQ(done.load(), 64);
+  }
+}
+
+TEST(ThreadPool, ZeroAndNegativeSizesClampToSerial) {
+  ThreadPool p0(0);
+  EXPECT_EQ(p0.threads(), 1);
+  ThreadPool pneg(-3);
+  EXPECT_EQ(pneg.threads(), 1);
+  std::atomic<int> runs{0};
+  p0.Run(5, [&](int64_t) { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 5);
+}
+
+TEST(ThreadPool, SetThreadCountSwapsTheGlobalPool) {
+  SetThreadCount(3);
+  EXPECT_EQ(ThreadCount(), 3);
+  SetThreadCount(5);
+  EXPECT_EQ(ThreadCount(), 5);
+  SetThreadCount(0);  // back to the EMBSR_THREADS / hardware default
+  EXPECT_GE(ThreadCount(), 1);
+}
+
+TEST(ThreadPool, PublishesChunkCounterAndQueueDepthGauge) {
+  ScopedThreadCount pin(4);
+  obs::Counter* chunks =
+      obs::Registry::Global().GetCounter("par/chunks_total");
+  obs::Gauge* depth = obs::Registry::Global().GetGauge("par/queue_depth");
+  const int64_t before = chunks->value();
+  For(0, 256, 1, [](int64_t, int64_t) {});
+  EXPECT_EQ(chunks->value() - before, 256);
+  // The pool is idle between Runs, so the gauge must have returned to 0.
+  EXPECT_EQ(depth->value(), 0);
+}
+
+TEST(ThreadPool, RunZeroChunksReturnsImmediately) {
+  ScopedThreadCount pin(4);
+  int calls = 0;
+  ThreadPool::Global().Run(0, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace par
+}  // namespace embsr

@@ -1,0 +1,87 @@
+// Perf regression guard for the parallel execution layer, ctest-labeled
+// `perf` so it can be excluded on noisy machines (ctest -LE perf).
+//
+// The headline assertion: threaded MatMul(256^3) at the hardware thread
+// count must be >= 1.5x faster than the strict-serial pool. On single-core
+// hosts the speedup leg GTEST_SKIPs (there is nothing to win), but the
+// BENCH_par_smoke.json sidecar is still written — with the `threads` field
+// and the measured timings — so scripts/check_bench_json.py always has a
+// report to validate (the par_smoke_json ctest runs this binary under
+// --run).
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gtest/gtest.h"
+#include "par/thread_pool.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace embsr {
+namespace {
+
+// Median-of-reps wall time of `fn` in milliseconds, with warmup.
+template <typename Fn>
+double MedianMs(int reps, Fn fn) {
+  fn();
+  fn();  // warmup: page in, warm caches, spin up pool lanes
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    ms.push_back(t.ElapsedSeconds() * 1e3);
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+TEST(PerfRegression, ThreadedMatMulBeatsSerial) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  Rng rng(7);
+  const Tensor a = Tensor::RandUniform({256, 256}, -1.0f, 1.0f, &rng);
+  const Tensor b = Tensor::RandUniform({256, 256}, -1.0f, 1.0f, &rng);
+
+  par::SetThreadCount(1);
+  const double serial_ms = MedianMs(9, [&] { (void)MatMul(a, b); });
+  par::SetThreadCount(0);  // hardware / EMBSR_THREADS default
+  const double pool_ms = MedianMs(9, [&] { (void)MatMul(a, b); });
+  const double speedup = serial_ms / std::max(pool_ms, 1e-9);
+
+  {
+    // Written before any skip/assert so the sidecar always exists.
+    bench::BenchReport report("par_smoke");
+    report.AddScalar("matmul256_serial_ms", serial_ms);
+    report.AddScalar("matmul256_pool_ms", pool_ms);
+    report.AddScalar("matmul256_speedup", speedup);
+    report.AddScalar("hardware_concurrency", hw);
+  }
+
+  if (hw < 2) {
+    GTEST_SKIP() << "single hardware thread (hw=" << hw
+                 << "): the pool is serial here, no speedup to assert; "
+                 << "measured speedup=" << speedup;
+  }
+  EXPECT_GE(speedup, 1.5)
+      << "threaded MatMul(256^3) regressed: serial=" << serial_ms
+      << "ms pool=" << pool_ms << "ms at " << par::ThreadCount() << " lanes";
+}
+
+TEST(PerfRegression, ParForOverheadIsBounded) {
+  // A trivially small For must not cost more than ~1ms even with a live
+  // pool: the single-chunk inline fast path short-circuits submission.
+  par::SetThreadCount(0);
+  const double ms = MedianMs(9, [&] {
+    volatile int64_t sink = 0;
+    par::For(0, 64, 4096,
+             [&](int64_t lo, int64_t hi) { sink = sink + (hi - lo); });
+  });
+  EXPECT_LT(ms, 1.0) << "single-chunk par::For no longer runs inline?";
+}
+
+}  // namespace
+}  // namespace embsr
