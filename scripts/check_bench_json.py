@@ -11,6 +11,10 @@ Usage:
   check_bench_json.py --run BIN [ARG ...]  run a bench binary in a fresh
                                            temp dir, then validate every
                                            BENCH_*.json it produced
+  check_bench_json.py --self-test          prove the validator still rejects
+                                           seeded schema violations (the
+                                           'threads' field rules included)
+                                           and accepts a well-formed report
 
 Exits non-zero and prints one line per problem on failure. Stdlib only.
 """
@@ -208,10 +212,94 @@ def run_and_collect(argv):
         return 1 if errors else 0
 
 
+# ---- Self-test ---------------------------------------------------------------
+
+
+def _valid_report():
+    """A minimal report that must validate cleanly."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "self_test",
+        "threads": 4,
+        "workload": {"bench_scale": 1.0, "dataset_scale": 1.0},
+        "wall_seconds": 0.5,
+        "results": [{
+            "model": "S-POP",
+            "dataset": "synth",
+            "status": "ok",
+            "fit_seconds": 0.1,
+            "eval_seconds": 0.1,
+            "hit": {"20": 0.5},
+            "mrr": {"20": 0.25},
+        }],
+        "scalars": {},
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+    }
+
+
+def _check_doc(doc, name):
+    """Validates `doc` written to a correctly-named temp file."""
+    errors = []
+    with tempfile.TemporaryDirectory(prefix="embsr_bench_selftest_") as tmp:
+        path = os.path.join(tmp, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        check_report(path, errors)
+    return errors
+
+
+def self_test():
+    failures = []
+
+    def expect_clean(doc, label):
+        errors = _check_doc(doc, doc.get("bench", "self_test"))
+        if errors:
+            failures.append(f"{label}: unexpectedly rejected: {errors}")
+
+    def expect_rejected(doc, label, needle):
+        errors = _check_doc(doc, doc.get("bench", "self_test"))
+        if not any(needle in e for e in errors):
+            failures.append(
+                f"{label}: expected an error containing {needle!r}, "
+                f"got {errors}")
+
+    expect_clean(_valid_report(), "valid report")
+
+    # 'threads' is optional, but when present it must be a positive integer
+    # (the par:: pool's lane count can never be 0, negative, fractional,
+    # boolean, or a spelled-out word).
+    absent = _valid_report()
+    del absent["threads"]
+    expect_clean(absent, "threads absent")
+    for bad in ("four", 0, -1, True, 1.5, None):
+        doc = _valid_report()
+        doc["threads"] = bad
+        expect_rejected(doc, f"threads={bad!r}",
+                        "'threads' must be a positive integer")
+
+    # Core schema rules the CI gate leans on.
+    doc = _valid_report()
+    doc["schema_version"] = SCHEMA_VERSION - 1
+    expect_rejected(doc, "old schema_version", "schema_version must be")
+    doc = _valid_report()
+    doc["results"][0]["status"] = "failed"
+    expect_rejected(doc, "failed without error", "has no 'error' string")
+    doc = _valid_report()
+    doc["results"][0]["hit"] = {}
+    expect_rejected(doc, "empty hit map on ok cell", "is empty on an ok cell")
+
+    for msg in failures:
+        print(f"self-test: {msg}", file=sys.stderr)
+    print(f"self-test: {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
 def main(argv):
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__.strip())
         return 0 if argv else 2
+    if argv[0] == "--self-test":
+        return self_test()
     if argv[0] == "--run":
         if len(argv) < 2:
             print("--run needs a binary path", file=sys.stderr)

@@ -16,6 +16,9 @@ Rules (rule ids in parentheses):
   data-arith  pointer arithmetic on `.data()` outside the kernel layers
               (src/tensor, src/autograd). Byte-I/O code that needs it must
               justify with an inline suppression.
+  todo-owner  TODO comments without an owner. `TODO(name): ...` survives;
+              an ownerless TODO rots forever because nobody is on the hook
+              for it.
 
 Suppressions: append `// lint: allow(<rule-id>): <reason>` to the offending
 line, or put it on the line directly above (it covers both). The reason is
@@ -64,6 +67,9 @@ LAYER_DEPS = {
     "verify": {"train", "core", "datagen", "models", "nn", "optim", "data",
                "graph", "metrics", "robust", "failpoint", "autograd",
                "tensor", "obs", "util"},
+    "analyze": {"train", "core", "datagen", "models", "nn", "optim", "data",
+                "graph", "metrics", "robust", "failpoint", "autograd",
+                "tensor", "par", "obs", "util"},
 }
 
 SUPPRESS_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)(?P<reason>.*)")
@@ -78,6 +84,9 @@ DATA_ARITH_RE = re.compile(r"\.data\(\)\s*[+-]")
 # Bare std::thread (the `(?!\s*::)` keeps std::thread::hardware_concurrency
 # legal — querying the machine is fine, owning a thread is not).
 RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
+# Matched against the raw line: TODO lives in comments, which the other
+# rules strip. Owner must follow immediately in parens: TODO(name).
+TODO_OWNER_RE = re.compile(r"\bTODO\b(?!\([A-Za-z0-9_.@-]+\))")
 
 
 def strip_comments(line):
@@ -176,6 +185,11 @@ def lint_file(rel_path, text):
             check("data-arith",
                   ".data() pointer arithmetic outside the kernel layers; "
                   "index via at()/vec() or justify byte-level I/O")
+        # TODOs live in comments, so this rule scans the raw line.
+        if TODO_OWNER_RE.search(raw):
+            check("todo-owner",
+                  "TODO without an owner; write `TODO(name): ...` so "
+                  "someone is on the hook for it")
     return violations
 
 
@@ -237,6 +251,15 @@ SELF_TEST_CASES = [
     ("bare-allow", "src/nn/x.cc",
      "int* p = new int;  // lint: allow(raw-new):",
      "static X* x = new X();  // lint: allow(raw-new): leaked singleton"),
+    ("todo-owner", "src/nn/x.cc",
+     "// TODO: wire this into the trainer",
+     "// TODO(ana): wire this into the trainer"),
+    ("todo-owner", "src/models/x.cc",
+     "int k = 0;  // TODO tune this",
+     "int k = 0;  // tuned on the JD validation split"),
+    ("layer-dag", "src/analyze/x.cc",
+     '#include "verify/gradcheck.h"',
+     '#include "train/model_zoo.h"'),
 ]
 
 

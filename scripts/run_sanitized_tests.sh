@@ -6,8 +6,16 @@
 # issue on the paths the tests exercise.
 #
 # Usage: scripts/run_sanitized_tests.sh [CONFIG ...] [-- ctest args...]
-#   CONFIG: address | thread | plain   (default: address thread plain)
+#   CONFIG: address | thread | plain | contracts
+#           (default: address thread plain contracts)
 #   e.g. scripts/run_sanitized_tests.sh thread -- -R obs_race
+#
+# The `contracts` config builds with -DEMBSR_CHECK_CONTRACTS=ON (no
+# sanitizer): every tensor kernel then verifies its declared per-chunk
+# access sets against the DESIGN.md §11 partition contract before
+# dispatching (src/par/access_check.h). Unlike TSan, the check runs on
+# declarations, so it is deterministic at every thread count — the
+# EMBSR_THREADS=4 leg exercises the same contracts under a real pool.
 #
 # Build dirs: build-<config> (override root with EMBSR_SAN_BUILD_DIR).
 # Logs: <build dir>/ctest-<config>.log.
@@ -26,8 +34,8 @@ for arg in "$@"; do
     parsing_configs=0
   elif [[ $parsing_configs == 1 ]]; then
     case "$arg" in
-      address|thread|plain) configs+=("$arg") ;;
-      *) echo "unknown config '$arg' (want address|thread|plain)" >&2
+      address|thread|plain|contracts) configs+=("$arg") ;;
+      *) echo "unknown config '$arg' (want address|thread|plain|contracts)" >&2
          exit 2 ;;
     esac
   else
@@ -35,7 +43,7 @@ for arg in "$@"; do
   fi
 done
 if [[ ${#configs[@]} -eq 0 ]]; then
-  configs=(address thread plain)
+  configs=(address thread plain contracts)
 fi
 
 # halt_on_error pairs with -fno-sanitize-recover: first report kills the
@@ -47,15 +55,19 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 failed=()
 for config in "${configs[@]}"; do
   build_dir="$build_root/build-$config"
+  contracts=OFF
   case "$config" in
-    address) sanitize=address ;;
-    thread)  sanitize=thread ;;
-    plain)   sanitize=off ;;
+    address)   sanitize=address ;;
+    thread)    sanitize=thread ;;
+    plain)     sanitize=off ;;
+    contracts) sanitize=off; contracts=ON ;;
   esac
-  echo "=== [$config] configuring $build_dir (EMBSR_SANITIZE=$sanitize)"
+  echo "=== [$config] configuring $build_dir" \
+       "(EMBSR_SANITIZE=$sanitize EMBSR_CHECK_CONTRACTS=$contracts)"
   cmake -B "$build_dir" -S "$repo_root" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DEMBSR_SANITIZE="$sanitize"
+    -DEMBSR_SANITIZE="$sanitize" \
+    -DEMBSR_CHECK_CONTRACTS="$contracts"
   cmake --build "$build_dir" -j "$jobs"
 
   log="$build_dir/ctest-$config.log"
@@ -75,10 +87,10 @@ for config in "${configs[@]}"; do
   par_log="$build_dir/ctest-$config-threads4.log"
   echo "=== [$config] ctest EMBSR_THREADS=4 (log: $par_log)"
   # ctest registers gtest-discovered names (suite.case), so the filter
-  # matches the suites from par_test, kernel_equiv_test, determinism_test
-  # and obs_race_test.
+  # matches the suites from par_test, kernel_equiv_test, determinism_test,
+  # obs_race_test, access_sentinel_test and graph_audit_test.
   if (cd "$build_dir" && EMBSR_THREADS=4 ctest --output-on-failure \
-        -R '^(ParFor|ThreadPool|KernelEquivTest|DeterminismTest|ObsRaceTest)\.' \
+        -R '^(ParFor|ThreadPool|KernelEquivTest|DeterminismTest|ObsRaceTest|AccessSentinel(DeathTest)?|GraphAudit)\.' \
         2>&1 | tee "$par_log"); then
     echo "=== [$config threads=4] PASS"
   else

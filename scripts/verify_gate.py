@@ -4,10 +4,17 @@
 Aggregates the pure-script checks that need no build products:
   1. scripts/lint.py --self-test   (the lint's own rules still fire)
   2. scripts/lint.py               (the tree is clean)
-  3. scripts/check_bench_json.py   on every BENCH_*.json checked into the
+  3. scripts/check_bench_json.py --self-test
+                                   (the bench JSON validator still rejects
+                                   seeded schema violations)
+  4. scripts/check_bench_json.py   on every BENCH_*.json checked into the
      repo (benchmark reports committed as baselines). Zero such files is
      fine — the bench JSON contract is then exercised by the
      bench_json_schema test instead, which runs a real bench binary.
+
+With --graph-audit BIN (CMake passes the built graph_audit_test), also runs
+the autograd-graph auditor over the whole model zoo as a final stage, so
+the gate covers graph wiring as well as source hygiene.
 
 Exits non-zero on the first failing stage. Stdlib only.
 """
@@ -31,6 +38,9 @@ def main():
     parser.add_argument("--repo-root",
                         default=os.path.dirname(
                             os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--graph-audit", metavar="BIN", default=None,
+                        help="path to the built graph_audit_test binary; "
+                             "when given, run it as the final gate stage")
     args = parser.parse_args()
     root = os.path.abspath(args.repo_root)
     scripts = os.path.join(root, "scripts")
@@ -39,6 +49,8 @@ def main():
     run([py, os.path.join(scripts, "lint.py"), "--self-test"],
         "lint self-test")
     run([py, os.path.join(scripts, "lint.py"), "--repo-root", root], "lint")
+    run([py, os.path.join(scripts, "check_bench_json.py"), "--self-test"],
+        "bench JSON validator self-test")
 
     bench_jsons = []
     for dirpath, dirnames, names in os.walk(root):
@@ -54,6 +66,9 @@ def main():
             + sorted(bench_jsons), "bench JSON schema")
     else:
         print("verify_gate: no checked-in BENCH_*.json (ok)")
+
+    if args.graph_audit:
+        run([args.graph_audit], "graph audit (model zoo)")
 
     print("verify_gate: OK")
     return 0

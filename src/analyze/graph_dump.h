@@ -1,0 +1,35 @@
+#ifndef EMBSR_ANALYZE_GRAPH_DUMP_H_
+#define EMBSR_ANALYZE_GRAPH_DUMP_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/tape_audit.h"
+#include "autograd/variable.h"
+#include "nn/module.h"
+
+namespace embsr {
+namespace analyze {
+
+/// Renders the graph under `loss` (everything reachable through parent
+/// edges) as Graphviz DOT: ops as ellipses, parameters as labeled boxes,
+/// edges from input to consumer. Node order is the deterministic discovery
+/// order of ReachableNodes, so dumps diff cleanly across runs.
+std::string ToDot(const ag::Variable& loss,
+                  const std::vector<nn::NamedParameter>& params);
+
+/// Same graph as compact JSON ({"nodes": [...], "edges": [...]}) via
+/// obs::JsonWriter, for tooling that would rather not parse DOT.
+std::string ToJson(const ag::Variable& loss,
+                   const std::vector<nn::NamedParameter>& params);
+
+/// Publishes audit stats through embsr::obs — gauges analyze/graph_nodes,
+/// analyze/graph_edges, analyze/graph_params (last audited graph) and
+/// counter analyze/audits_total — so training telemetry snapshots include
+/// the shape of the last audited graph.
+void ExportTapeStats(const TapeAuditStats& stats);
+
+}  // namespace analyze
+}  // namespace embsr
+
+#endif  // EMBSR_ANALYZE_GRAPH_DUMP_H_

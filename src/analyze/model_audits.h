@@ -1,0 +1,46 @@
+#ifndef EMBSR_ANALYZE_MODEL_AUDITS_H_
+#define EMBSR_ANALYZE_MODEL_AUDITS_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/tape_audit.h"
+
+namespace embsr {
+namespace analyze {
+
+/// One registered per-model audit: which zoo model to build, and which
+/// structural exceptions its configuration makes legitimate.
+struct ModelAuditSpec {
+  std::string model;
+  TapeAuditOptions options;
+};
+
+/// All registered per-model audits, one per zoo model name. Coverage is
+/// *enforced*, not aspirational: verify/source_scan.cc regex-scans
+/// src/analyze/model_audits.cc for EMBSR_MODEL_AUDIT("...") markers and
+/// tests/graph_audit_test.cc fails if any model_zoo.cc name lacks an entry
+/// (or an entry names a model the zoo no longer builds).
+const std::vector<ModelAuditSpec>& ModelAudits();
+
+/// The spec registered for `name`, or null.
+const ModelAuditSpec* FindModelAudit(const std::string& name);
+
+struct ModelAuditOutcome {
+  bool known = false;   // CreateModel recognized the name
+  bool neural = false;  // gradient-trained; memory-based baselines have no
+                        // graph and audit trivially
+  TapeAuditReport report;
+};
+
+/// Builds the model on the tiny audit vocabulary, records one eval-mode
+/// forward/backward of LossOn on a fixed synthetic session under an
+/// ag::Tape, audits the graph against the spec, and exports stats through
+/// embsr::obs. When EMBSR_GRAPH_DUMP_DIR is set, also writes
+/// graph_<model>.dot and graph_<model>.json there.
+ModelAuditOutcome RunModelAudit(const ModelAuditSpec& spec);
+
+}  // namespace analyze
+}  // namespace embsr
+
+#endif  // EMBSR_ANALYZE_MODEL_AUDITS_H_

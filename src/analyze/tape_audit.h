@@ -1,0 +1,93 @@
+#ifndef EMBSR_ANALYZE_TAPE_AUDIT_H_
+#define EMBSR_ANALYZE_TAPE_AUDIT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autograd/tape.h"
+#include "autograd/variable.h"
+#include "nn/module.h"
+
+namespace embsr {
+namespace analyze {
+
+/// Structural audit of one recorded forward/backward pass.
+///
+/// The gradcheck harness (src/verify) answers "are the gradients
+/// numerically right?"; this auditor answers the question upstream of it:
+/// "is the graph wired the way the model intends?" A model whose operation
+/// embedding never reaches the loss still trains, still scores, and
+/// silently becomes a weaker baseline — the classic miswired-baseline
+/// failure the session-rec replication literature keeps finding. Dead
+/// parameters, dropped op outputs and double-accumulating backwards are
+/// all invisible to finite differences of the parameters that *do* work.
+///
+/// Invariants checked (run AuditTape after exactly one Backward() on a
+/// freshly built graph whose nodes were recorded by an ag::Tape):
+///
+///   1. *No dead parameters.* Every registered parameter is an ancestor of
+///      the loss and received a gradient — unless explicitly allowed
+///      (ablation variants construct components their config disables).
+///      Allowances are checked both ways: an allowed-dead parameter that
+///      *does* get a gradient is a stale allowance and also fails.
+///   2. *Accumulation matches fan-out.* For every reachable requires_grad
+///      node, the number of AccumulateGrad calls it received equals its
+///      consumer-edge count (with multiplicity) plus one at the backward
+///      root for the seed. Catches backwards that accumulate twice, skip a
+///      parent, or leak gradient into detached subgraphs.
+///   3. *No orphaned ops.* Every requires_grad node recorded on the tape is
+///      reachable from the loss. An unreachable op means a computed output
+///      was dropped on the floor — usually a refactor losing a term.
+///   4. *No aliased parameters.* No two registered parameter names share a
+///      graph node or a value buffer; aliasing would double-count
+///      gradients and corrupt optimizer state.
+///   5. *Parameters are leaves.* A parameter produced by an op would be
+///      re-created every forward pass and never actually train.
+
+struct TapeAuditOptions {
+  /// Exact Module::NamedParameters paths expected to receive no gradient.
+  /// Normally empty; EMBSR ablation variants list the components their
+  /// config switches off (registered unconditionally by EmbsrModel).
+  std::vector<std::string> allowed_dead_params;
+  /// Op names (Node::op) whose outputs may legitimately be left unused.
+  /// Normally empty.
+  std::vector<std::string> allowed_orphan_ops;
+};
+
+struct TapeAuditStats {
+  int64_t tape_nodes = 0;       // everything recorded, incl. constants
+  int64_t reachable_nodes = 0;  // ancestors of the loss (loss included)
+  int64_t edges = 0;            // parent links among reachable nodes
+  int64_t parameters = 0;       // registered named parameters
+  int64_t parameter_scalars = 0;
+  int64_t dead_params_allowed = 0;  // allowed-dead list entries that matched
+  std::map<std::string, int64_t> op_histogram;  // reachable nodes per op
+};
+
+struct TapeAuditReport {
+  bool ok() const { return failures.empty(); }
+  std::vector<std::string> failures;
+  TapeAuditStats stats;
+
+  /// Human-readable multi-line summary (stats + every failure).
+  std::string ToString() const;
+};
+
+/// All ancestors of `root` (root itself included), in deterministic
+/// discovery order. Shared by the auditor and the graph dumpers.
+std::vector<ag::Node*> ReachableNodes(const ag::Variable& root);
+
+/// Audits the graph under `loss` against `params` and the recorded `tape`.
+/// Precondition: exactly one Backward() ran since the parameters were
+/// zeroed (the fan-out counts assume a single seed).
+TapeAuditReport AuditTape(const ag::Variable& loss,
+                          const std::vector<nn::NamedParameter>& params,
+                          const ag::Tape& tape,
+                          const TapeAuditOptions& options = {});
+
+}  // namespace analyze
+}  // namespace embsr
+
+#endif  // EMBSR_ANALYZE_TAPE_AUDIT_H_

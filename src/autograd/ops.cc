@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "autograd/tape.h"
 #include "util/check.h"
 
 namespace embsr {
@@ -12,13 +13,16 @@ namespace {
 
 /// Builds the output node. Records parents and the backward closure only when
 /// some input requires grad, so inference-only forward passes build no graph.
-Variable MakeOp(Tensor value, std::vector<Variable> inputs,
+/// `op` must be a string literal naming the public op (it is stored on the
+/// node and shown by the analyze tooling).
+Variable MakeOp(const char* op, Tensor value, std::vector<Variable> inputs,
                 std::function<void(Node*)> backward) {
   // Contract: no op may produce NaN/Inf. Checking the single funnel point
   // catches a numeric blow-up at the op that created it rather than ten ops
   // downstream in the loss. (No-op unless EMBSR_CHECK_CONTRACTS.)
   EMBSR_CHECK_FINITE(value);
   auto node = std::make_shared<Node>();
+  node->op = op;
   node->value = std::move(value);
   bool rg = false;
   for (const auto& v : inputs) {
@@ -31,6 +35,7 @@ Variable MakeOp(Tensor value, std::vector<Variable> inputs,
     for (auto& v : inputs) node->parents.push_back(v.node());
     node->backward_fn = std::move(backward);
   }
+  Tape::Record(node);
   return Variable::FromNode(node);
 }
 
@@ -43,7 +48,7 @@ void AccumIfNeeded(const std::shared_ptr<Node>& parent, const Tensor& g) {
 Variable Add(const Variable& a, const Variable& b) {
   auto an = a.node();
   auto bn = b.node();
-  return MakeOp(embsr::Add(a.value(), b.value()), {a, b},
+  return MakeOp("Add", embsr::Add(a.value(), b.value()), {a, b},
                 [an, bn](Node* out) {
                   AccumIfNeeded(an, out->grad);
                   AccumIfNeeded(bn, out->grad);
@@ -53,7 +58,7 @@ Variable Add(const Variable& a, const Variable& b) {
 Variable Sub(const Variable& a, const Variable& b) {
   auto an = a.node();
   auto bn = b.node();
-  return MakeOp(embsr::Sub(a.value(), b.value()), {a, b},
+  return MakeOp("Sub", embsr::Sub(a.value(), b.value()), {a, b},
                 [an, bn](Node* out) {
                   AccumIfNeeded(an, out->grad);
                   AccumIfNeeded(bn, embsr::Neg(out->grad));
@@ -63,7 +68,7 @@ Variable Sub(const Variable& a, const Variable& b) {
 Variable Mul(const Variable& a, const Variable& b) {
   auto an = a.node();
   auto bn = b.node();
-  return MakeOp(embsr::Mul(a.value(), b.value()), {a, b},
+  return MakeOp("Mul", embsr::Mul(a.value(), b.value()), {a, b},
                 [an, bn](Node* out) {
                   AccumIfNeeded(an, embsr::Mul(out->grad, bn->value));
                   AccumIfNeeded(bn, embsr::Mul(out->grad, an->value));
@@ -73,7 +78,7 @@ Variable Mul(const Variable& a, const Variable& b) {
 Variable AddRowBroadcast(const Variable& a, const Variable& row) {
   auto an = a.node();
   auto rn = row.node();
-  return MakeOp(embsr::AddRowBroadcast(a.value(), row.value()), {a, row},
+  return MakeOp("AddRowBroadcast", embsr::AddRowBroadcast(a.value(), row.value()), {a, row},
                 [an, rn](Node* out) {
                   AccumIfNeeded(an, out->grad);
                   if (rn->requires_grad) {
@@ -89,7 +94,7 @@ Variable MulRowBroadcast(const Variable& a, const Variable& row) {
   Tensor out = embsr::MulRowBroadcast(a.value(), row.value());
   auto an = a.node();
   auto rn = row.node();
-  return MakeOp(std::move(out), {a, row}, [an, rn](Node* o) {
+  return MakeOp("MulRowBroadcast", std::move(out), {a, row}, [an, rn](Node* o) {
     if (an->requires_grad) {
       an->AccumulateGrad(embsr::MulRowBroadcast(o->grad, rn->value));
     }
@@ -115,7 +120,7 @@ Variable MulColBroadcast(const Variable& a, const Variable& col) {
   }
   auto an = a.node();
   auto cn = col.node();
-  return MakeOp(std::move(out), {a, col}, [an, cn, n, d](Node* o) {
+  return MakeOp("MulColBroadcast", std::move(out), {a, col}, [an, cn, n, d](Node* o) {
     if (an->requires_grad) {
       Tensor ga({n, d});
       for (int64_t i = 0; i < n; ++i) {
@@ -134,14 +139,14 @@ Variable MulColBroadcast(const Variable& a, const Variable& col) {
 
 Variable Scale(const Variable& a, float s) {
   auto an = a.node();
-  return MakeOp(embsr::Scale(a.value(), s), {a}, [an, s](Node* out) {
+  return MakeOp("Scale", embsr::Scale(a.value(), s), {a}, [an, s](Node* out) {
     AccumIfNeeded(an, embsr::Scale(out->grad, s));
   });
 }
 
 Variable AddScalar(const Variable& a, float s) {
   auto an = a.node();
-  return MakeOp(embsr::AddScalar(a.value(), s), {a},
+  return MakeOp("AddScalar", embsr::AddScalar(a.value(), s), {a},
                 [an](Node* out) { AccumIfNeeded(an, out->grad); });
 }
 
@@ -150,7 +155,7 @@ Variable Neg(const Variable& a) { return Scale(a, -1.0f); }
 Variable MatMul(const Variable& a, const Variable& b) {
   auto an = a.node();
   auto bn = b.node();
-  return MakeOp(embsr::MatMul(a.value(), b.value()), {a, b},
+  return MakeOp("MatMul", embsr::MatMul(a.value(), b.value()), {a, b},
                 [an, bn](Node* out) {
                   if (an->requires_grad) {
                     an->AccumulateGrad(
@@ -165,7 +170,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
 
 Variable Transpose(const Variable& a) {
   auto an = a.node();
-  return MakeOp(a.value().Transposed(), {a}, [an](Node* out) {
+  return MakeOp("Transpose", a.value().Transposed(), {a}, [an](Node* out) {
     AccumIfNeeded(an, out->grad.Transposed());
   });
 }
@@ -173,7 +178,7 @@ Variable Transpose(const Variable& a) {
 Variable Sigmoid(const Variable& a) {
   Tensor y = embsr::Sigmoid(a.value());
   auto an = a.node();
-  return MakeOp(y, {a}, [an](Node* out) {
+  return MakeOp("Sigmoid", y, {a}, [an](Node* out) {
     if (!an->requires_grad) return;
     Tensor g = out->grad;
     const float* py = out->value.data();
@@ -186,7 +191,7 @@ Variable Sigmoid(const Variable& a) {
 Variable Tanh(const Variable& a) {
   Tensor y = embsr::Tanh(a.value());
   auto an = a.node();
-  return MakeOp(y, {a}, [an](Node* out) {
+  return MakeOp("Tanh", y, {a}, [an](Node* out) {
     if (!an->requires_grad) return;
     Tensor g = out->grad;
     const float* py = out->value.data();
@@ -199,7 +204,7 @@ Variable Tanh(const Variable& a) {
 Variable Relu(const Variable& a) {
   Tensor y = embsr::Relu(a.value());
   auto an = a.node();
-  return MakeOp(y, {a}, [an](Node* out) {
+  return MakeOp("Relu", y, {a}, [an](Node* out) {
     if (!an->requires_grad) return;
     Tensor g = out->grad;
     const float* px = an->value.data();
@@ -214,7 +219,7 @@ Variable Relu(const Variable& a) {
 Variable Exp(const Variable& a) {
   Tensor y = embsr::Exp(a.value());
   auto an = a.node();
-  return MakeOp(y, {a}, [an](Node* out) {
+  return MakeOp("Exp", y, {a}, [an](Node* out) {
     if (!an->requires_grad) return;
     an->AccumulateGrad(embsr::Mul(out->grad, out->value));
   });
@@ -223,7 +228,7 @@ Variable Exp(const Variable& a) {
 Variable Log(const Variable& a) {
   Tensor y = embsr::Log(a.value());
   auto an = a.node();
-  return MakeOp(y, {a}, [an](Node* out) {
+  return MakeOp("Log", y, {a}, [an](Node* out) {
     if (!an->requires_grad) return;
     Tensor g = out->grad;
     const float* px = an->value.data();
@@ -238,7 +243,7 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
   auto bn = b.node();
   const int64_t da = a.value().dim(1);
   const int64_t db = b.value().dim(1);
-  return MakeOp(embsr::ConcatCols(a.value(), b.value()), {a, b},
+  return MakeOp("ConcatCols", embsr::ConcatCols(a.value(), b.value()), {a, b},
                 [an, bn, da, db](Node* out) {
                   const int64_t n = out->grad.dim(0);
                   if (an->requires_grad) {
@@ -267,7 +272,7 @@ Variable ConcatRows(const Variable& a, const Variable& b) {
   auto bn = b.node();
   const int64_t na = a.value().dim(0);
   const int64_t nb = b.value().dim(0);
-  return MakeOp(embsr::ConcatRows(a.value(), b.value()), {a, b},
+  return MakeOp("ConcatRows", embsr::ConcatRows(a.value(), b.value()), {a, b},
                 [an, bn, na, nb](Node* out) {
                   if (an->requires_grad) {
                     an->AccumulateGrad(out->grad.SliceRows(0, na));
@@ -291,7 +296,7 @@ Variable StackRows(const std::vector<Variable>& rows) {
   std::vector<std::shared_ptr<Node>> parents;
   parents.reserve(rows.size());
   for (const auto& r : rows) parents.push_back(r.node());
-  return MakeOp(std::move(out), rows, [parents, d](Node* o) {
+  return MakeOp("StackRows", std::move(out), rows, [parents, d](Node* o) {
     for (size_t i = 0; i < parents.size(); ++i) {
       if (!parents[i]->requires_grad) continue;
       Tensor g = o->grad.SliceRows(static_cast<int64_t>(i),
@@ -303,7 +308,7 @@ Variable StackRows(const std::vector<Variable>& rows) {
 
 Variable SliceRows(const Variable& a, int64_t begin, int64_t end) {
   auto an = a.node();
-  return MakeOp(a.value().SliceRows(begin, end), {a},
+  return MakeOp("SliceRows", a.value().SliceRows(begin, end), {a},
                 [an, begin, end](Node* out) {
                   if (!an->requires_grad) return;
                   Tensor ga(an->value.shape());
@@ -319,7 +324,7 @@ Variable Row(const Variable& a, int64_t r) { return SliceRows(a, r, r + 1); }
 Variable GatherRows(const Variable& table,
                     const std::vector<int64_t>& indices) {
   auto tn = table.node();
-  return MakeOp(embsr::GatherRows(table.value(), indices), {table},
+  return MakeOp("GatherRows", embsr::GatherRows(table.value(), indices), {table},
                 [tn, indices](Node* out) {
                   if (!tn->requires_grad) return;
                   Tensor gt(tn->value.shape());
@@ -331,7 +336,7 @@ Variable GatherRows(const Variable& table,
 Variable RowSoftmaxMasked(const Variable& a, const Tensor& mask) {
   Tensor y = embsr::RowSoftmaxMasked(a.value(), mask);
   auto an = a.node();
-  return MakeOp(y, {a}, [an](Node* out) {
+  return MakeOp("RowSoftmaxMasked", y, {a}, [an](Node* out) {
     if (!an->requires_grad) return;
     // dL/dx_i = y_i * (g_i - sum_j g_j y_j), row-wise.
     const int64_t n = out->value.dim(0), m = out->value.dim(1);
@@ -356,7 +361,7 @@ Variable RowSoftmax(const Variable& a) {
 
 Variable SumAll(const Variable& a) {
   auto an = a.node();
-  return MakeOp(embsr::SumAll(a.value()), {a}, [an](Node* out) {
+  return MakeOp("SumAll", embsr::SumAll(a.value()), {a}, [an](Node* out) {
     if (!an->requires_grad) return;
     an->AccumulateGrad(Tensor::Full(an->value.shape(), out->grad.at(0)));
   });
@@ -364,7 +369,7 @@ Variable SumAll(const Variable& a) {
 
 Variable SumRowsTo1xD(const Variable& a) {
   auto an = a.node();
-  return MakeOp(embsr::SumRowsTo1xD(a.value()), {a}, [an](Node* out) {
+  return MakeOp("SumRowsTo1xD", embsr::SumRowsTo1xD(a.value()), {a}, [an](Node* out) {
     if (!an->requires_grad) return;
     const int64_t n = an->value.dim(0), d = an->value.dim(1);
     Tensor ga({n, d});
@@ -377,7 +382,7 @@ Variable SumRowsTo1xD(const Variable& a) {
 
 Variable SumColsToNx1(const Variable& a) {
   auto an = a.node();
-  return MakeOp(embsr::SumColsToNx1(a.value()), {a}, [an](Node* out) {
+  return MakeOp("SumColsToNx1", embsr::SumColsToNx1(a.value()), {a}, [an](Node* out) {
     if (!an->requires_grad) return;
     const int64_t n = an->value.dim(0), d = an->value.dim(1);
     Tensor ga({n, d});
@@ -402,7 +407,7 @@ Variable RepeatRow(const Variable& a, int64_t n) {
     std::memcpy(out.data() + i * d, a.value().data(), sizeof(float) * d);
   }
   auto an = a.node();
-  return MakeOp(std::move(out), {a}, [an](Node* o) {
+  return MakeOp("RepeatRow", std::move(out), {a}, [an](Node* o) {
     if (!an->requires_grad) return;
     Tensor g = embsr::SumRowsTo1xD(o->grad);
     an->AccumulateGrad(g.Reshape(an->value.shape()));
@@ -413,7 +418,7 @@ Variable L2NormalizeRowsOp(const Variable& a) {
   constexpr float kEps = 1e-12f;
   Tensor y = embsr::L2NormalizeRows(a.value(), kEps);
   auto an = a.node();
-  return MakeOp(y, {a}, [an](Node* out) {
+  return MakeOp("L2NormalizeRowsOp", y, {a}, [an](Node* out) {
     if (!an->requires_grad) return;
     const int64_t n = an->value.dim(0), d = an->value.dim(1);
     Tensor ga({n, d});
@@ -459,7 +464,7 @@ Variable LayerNormRows(const Variable& a, float eps) {
     }
   }
   auto an = a.node();
-  return MakeOp(std::move(y), {a}, [an, inv_std, n, d](Node* out) {
+  return MakeOp("LayerNormRows", std::move(y), {a}, [an, inv_std, n, d](Node* out) {
     if (!an->requires_grad) return;
     Tensor ga({n, d});
     for (int64_t i = 0; i < n; ++i) {
@@ -493,7 +498,7 @@ Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
   }
   Tensor out = embsr::Mul(a.value(), mask);
   auto an = a.node();
-  return MakeOp(std::move(out), {a}, [an, mask](Node* o) {
+  return MakeOp("Dropout", std::move(out), {a}, [an, mask](Node* o) {
     AccumIfNeeded(an, embsr::Mul(o->grad, mask));
   });
 }
@@ -514,7 +519,7 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
   }
   loss /= n;
   auto ln = logits.node();
-  return MakeOp(Tensor::Scalar(static_cast<float>(loss)), {logits},
+  return MakeOp("SoftmaxCrossEntropy", Tensor::Scalar(static_cast<float>(loss)), {logits},
                 [ln, probs, targets, n, c](Node* out) {
                   if (!ln->requires_grad) return;
                   const float g0 = out->grad.at(0) / static_cast<float>(n);

@@ -1,0 +1,51 @@
+#ifndef EMBSR_AUTOGRAD_TAPE_H_
+#define EMBSR_AUTOGRAD_TAPE_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace embsr {
+namespace ag {
+
+/// Records every graph node built on the current thread while in scope —
+/// the raw material for the structural audits in src/analyze.
+///
+/// A Tape is a passive observer: it takes shared ownership of every node
+/// created under it (so ops whose results were dropped — orphans — survive
+/// for inspection instead of being freed with their last Variable handle),
+/// but it never changes forward or backward behaviour. Scopes nest; only
+/// the innermost tape records. Recording is thread-local, which matches how
+/// this repo runs forward passes: one session per thread, each building an
+/// independent graph.
+///
+/// Cost when no tape is active: one thread-local pointer load per node.
+class Tape {
+ public:
+  Tape();
+  ~Tape();
+
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Recorded nodes in creation order: leaves (Variable constructions) and
+  /// op outputs (MakeOp), whether or not they require grad.
+  const std::vector<std::shared_ptr<Node>>& nodes() const { return nodes_; }
+
+  /// The innermost tape recording on this thread, or null.
+  static Tape* Active();
+
+  /// Hook for Variable's leaf constructor and ops.cc's MakeOp; no-op when
+  /// no tape is active on this thread.
+  static void Record(const std::shared_ptr<Node>& node);
+
+ private:
+  std::vector<std::shared_ptr<Node>> nodes_;
+  Tape* outer_;
+};
+
+}  // namespace ag
+}  // namespace embsr
+
+#endif  // EMBSR_AUTOGRAD_TAPE_H_

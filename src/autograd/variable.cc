@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "autograd/tape.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -16,12 +17,14 @@ void Node::AccumulateGrad(const Tensor& g) {
   } else {
     grad.AddInPlace(g);
   }
+  ++accum_count;
 }
 
 Variable::Variable(Tensor value, bool requires_grad) {
   node_ = std::make_shared<Node>();
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
+  Tape::Record(node_);
 }
 
 const Tensor& Variable::value() const {
@@ -53,6 +56,7 @@ bool Variable::has_grad() const {
 void Variable::ZeroGrad() {
   EMBSR_CHECK(defined());
   node_->grad_ready = false;
+  node_->accum_count = 0;
 }
 
 void Variable::Backward() const {

@@ -23,6 +23,16 @@ struct Node {
   std::vector<std::shared_ptr<Node>> parents;
   /// Propagates this node's grad into its parents' grads. Null for leaves.
   std::function<void(Node*)> backward_fn;
+  /// Static name of the op that produced this node; "leaf" for Variables
+  /// built directly (parameters, constants). Always a string literal, so
+  /// storing the pointer is safe.
+  const char* op = "leaf";
+  /// Gradient accumulations received since construction / the last
+  /// ZeroGrad. The tape auditor (src/analyze) checks this against graph
+  /// fan-out: after one backward pass it must equal the number of consumer
+  /// edges that propagated a gradient here (+1 at the backward root for
+  /// the seed).
+  int64_t accum_count = 0;
 
   /// Adds `g` into this node's grad buffer (allocating it if needed).
   void AccumulateGrad(const Tensor& g);

@@ -21,14 +21,15 @@ namespace embsr {
 /// downstream user can export their log with one SQL query.
 
 /// Writes sessions to `path`. Session ids are assigned 0..n-1.
-Status WriteSessionsCsv(const std::vector<Session>& sessions,
-                        const std::string& path);
+[[nodiscard]] Status WriteSessionsCsv(const std::vector<Session>& sessions,
+                                      const std::string& path);
 
 /// Reads sessions from `path`. Fails with InvalidArgument on malformed
 /// rows, negative or out-of-range ids, or a missing header — never aborts
 /// on bad input. CRLF line endings are tolerated. The `io.read` failpoint
 /// injects a read failure here (see robust/failpoint.h).
-Result<std::vector<Session>> ReadSessionsCsv(const std::string& path);
+[[nodiscard]] Result<std::vector<Session>> ReadSessionsCsv(
+    const std::string& path);
 
 }  // namespace embsr
 

@@ -1,0 +1,107 @@
+#include "par/access_check.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace embsr {
+namespace par {
+namespace internal {
+
+namespace {
+
+/// Kernel name of the innermost active serial-reduction scope, or null.
+thread_local const char* t_serial_reduction = nullptr;
+
+obs::Counter* CheckedLoopCounter() {
+  static obs::Counter* counter =
+      obs::Registry::Global().GetCounter("par/contract_checked_loops");
+  return counter;
+}
+
+}  // namespace
+
+void AccessChecker::AddChunk(const AccessSet& set) {
+  const int64_t chunk = num_chunks_++;
+  for (const AccessSet::Range& r : set.ranges()) {
+    if (r.begin >= r.end) continue;  // empty declarations are vacuous
+    Entry e{r.buf, r.begin, r.end, chunk};
+    (r.write ? writes_ : reads_).push_back(e);
+  }
+}
+
+void AccessChecker::Verify() const {
+  CheckedLoopCounter()->Increment();
+
+  auto by_buf_begin = [](const Entry& a, const Entry& b) {
+    if (a.buf != b.buf) return a.buf < b.buf;
+    if (a.begin != b.begin) return a.begin < b.begin;
+    return a.end < b.end;
+  };
+  std::vector<Entry> writes = writes_;
+  std::sort(writes.begin(), writes.end(), by_buf_begin);
+
+  // 1. Writes must partition: overlapping write ranges are only legal when
+  // both come from the same chunk (one lane may re-touch its own output).
+  // Sweep each buffer's sorted ranges, merging same-chunk overlaps; the
+  // first cross-chunk overlap aborts, so tracking one chunk id suffices.
+  for (size_t i = 1; i < writes.size(); ++i) {
+    const Entry& prev = writes[i - 1];
+    Entry& cur = writes[i];
+    if (prev.buf != cur.buf || cur.begin >= prev.end) continue;
+    EMBSR_CHECK_MSG(
+        prev.chunk == cur.chunk,
+        "access contract violated: kernel %s declares overlapping writes to "
+        "buffer %p — chunk %lld writes [%lld, %lld) and chunk %lld writes "
+        "[%lld, %lld)",
+        kernel_, prev.buf, static_cast<long long>(prev.chunk),
+        static_cast<long long>(prev.begin), static_cast<long long>(prev.end),
+        static_cast<long long>(cur.chunk), static_cast<long long>(cur.begin),
+        static_cast<long long>(cur.end));
+    // Same chunk: extend so a later chunk overlapping either range is
+    // still caught against the merged span.
+    if (cur.end < prev.end) cur.end = prev.end;
+    cur.begin = prev.begin;
+  }
+
+  // 2. No chunk may read another chunk's output: reading a foreign write
+  // range would make the result depend on chunk execution order.
+  for (const Entry& r : reads_) {
+    for (const Entry& w : writes_) {
+      if (w.buf != r.buf || w.chunk == r.chunk) continue;
+      if (r.begin < w.end && w.begin < r.end) {
+        EMBSR_CHECK_MSG(
+            false,
+            "access contract violated: kernel %s chunk %lld reads "
+            "[%lld, %lld) of buffer %p which chunk %lld writes as "
+            "[%lld, %lld)",
+            kernel_, static_cast<long long>(r.chunk),
+            static_cast<long long>(r.begin), static_cast<long long>(r.end),
+            r.buf, static_cast<long long>(w.chunk),
+            static_cast<long long>(w.begin), static_cast<long long>(w.end));
+      }
+    }
+  }
+}
+
+const char* EnterSerialReduction(const char* kernel) {
+  const char* prev = t_serial_reduction;
+  t_serial_reduction = kernel;
+  return prev;
+}
+
+void ExitSerialReduction(const char* prev) { t_serial_reduction = prev; }
+
+void CheckNotInSerialReduction() {
+  EMBSR_CHECK_MSG(
+      t_serial_reduction == nullptr,
+      "access contract violated: par::For dispatched inside the "
+      "serial-by-contract reduction %s — splitting it would make the "
+      "accumulation order depend on the partition (DESIGN.md §11)",
+      t_serial_reduction);
+}
+
+}  // namespace internal
+}  // namespace par
+}  // namespace embsr

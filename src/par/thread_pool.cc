@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "par/access_check.h"
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -208,6 +210,10 @@ void SetThreadCount(int threads) {
 void For(int64_t begin, int64_t end, int64_t grain,
          const std::function<void(int64_t, int64_t)>& fn) {
   if (begin >= end) return;
+  // Serial-by-contract reductions must never dispatch parallel work — not
+  // even on the inline paths below, since the same call would split the
+  // reduction at another thread count. One thread-local load when clean.
+  internal::CheckNotInSerialReduction();
   const int64_t g = std::max<int64_t>(1, grain);
   const int64_t span = end - begin;
   const int64_t num_chunks = (span + g - 1) / g;

@@ -46,11 +46,13 @@ class CheckpointManager {
 
   /// Saves module weights + training state for `state.epoch` completed
   /// epochs and applies retention.
-  Status Save(const nn::Module& module, const nn::TrainState& state);
+  [[nodiscard]] Status Save(const nn::Module& module,
+                            const nn::TrainState& state);
 
   /// Restores the newest loadable checkpoint of this run into
   /// (module, state). NotFound when none exists (a fresh run).
-  Status LoadLatest(nn::Module* module, nn::TrainState* state) const;
+  [[nodiscard]] Status LoadLatest(nn::Module* module,
+                                  nn::TrainState* state) const;
 
   /// This run's checkpoint paths, oldest first.
   std::vector<std::string> ListCheckpoints() const;

@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "par/access_check.h"
 #include "par/thread_pool.h"
 #include "util/check.h"
 
@@ -234,6 +235,14 @@ float Tensor::L2Norm() const {
 // used — results are bit-identical to the frozen tensor::ref:: oracles at
 // every thread count, including EMBSR_THREADS=1 (which runs this very code
 // inline with no pool involvement at all).
+//
+// The contract is no longer enforced by convention alone: every parallel
+// kernel dispatches through par::ForChecked with a per-chunk read/write
+// declaration, and the serial-by-contract reductions are wrapped in
+// EMBSR_SENTINEL_SERIAL_REDUCTION. In -DEMBSR_CHECK_CONTRACTS=ON builds the
+// access sentinel (par/access_check.h, DESIGN.md §12) verifies the declared
+// partition before the loop runs; release builds compile the declarations
+// away.
 
 namespace {
 
@@ -249,41 +258,54 @@ int64_t RowGrain(int64_t row_width) {
 }
 
 template <typename F>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
+Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b, F f) {
   EMBSR_CHECK(a.shape() == b.shape());
   Tensor out(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  par::For(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
-  });
+  par::ForChecked(
+      name, 0, a.size(), kElemGrain,
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo, hi);
+        acc->Read(pa, lo, hi);
+        acc->Read(pb, lo, hi);
+      },
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+      });
   return out;
 }
 
 template <typename F>
-Tensor UnaryOp(const Tensor& a, F f) {
+Tensor UnaryOp(const char* name, const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  par::For(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
-  });
+  par::ForChecked(
+      name, 0, a.size(), kElemGrain,
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo, hi);
+        acc->Read(pa, lo, hi);
+      },
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+      });
   return out;
 }
 
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+  return BinaryOp("Add", a, b, [](float x, float y) { return x + y; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+  return BinaryOp("Sub", a, b, [](float x, float y) { return x - y; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+  return BinaryOp("Mul", a, b, [](float x, float y) { return x * y; });
 }
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
@@ -293,11 +315,18 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
   const int64_t n = a.dim(0), d = a.dim(1);
   const float* pr = row.data();
   float* po = out.data();
-  par::For(0, n, RowGrain(d), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      for (int64_t j = 0; j < d; ++j) po[i * d + j] += pr[j];
-    }
-  });
+  par::ForChecked(
+      "AddRowBroadcast", 0, n, RowGrain(d),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo * d, hi * d);
+        acc->Read(po, lo * d, hi * d);  // in-place += over the copied rows
+        acc->Read(pr, 0, d);
+      },
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          for (int64_t j = 0; j < d; ++j) po[i * d + j] += pr[j];
+        }
+      });
   return out;
 }
 
@@ -309,44 +338,53 @@ Tensor MulRowBroadcast(const Tensor& a, const Tensor& row) {
   const float* pa = a.data();
   const float* pr = row.data();
   float* po = out.data();
-  par::For(0, n, RowGrain(d), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      for (int64_t j = 0; j < d; ++j) po[i * d + j] = pa[i * d + j] * pr[j];
-    }
-  });
+  par::ForChecked(
+      "MulRowBroadcast", 0, n, RowGrain(d),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo * d, hi * d);
+        acc->Read(pa, lo * d, hi * d);
+        acc->Read(pr, 0, d);
+      },
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          for (int64_t j = 0; j < d; ++j) {
+            po[i * d + j] = pa[i * d + j] * pr[j];
+          }
+        }
+      });
   return out;
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return UnaryOp("Scale", a, [s](float x) { return x * s; });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return UnaryOp("AddScalar", a, [s](float x) { return x + s; });
 }
 
 Tensor Neg(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return -x; });
+  return UnaryOp("Neg", a, [](float x) { return -x; });
 }
 
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
+  return UnaryOp("Exp", a, [](float x) { return std::exp(x); });
 }
 
 Tensor Log(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::log(x); });
+  return UnaryOp("Log", a, [](float x) { return std::log(x); });
 }
 
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
+  return UnaryOp("Tanh", a, [](float x) { return std::tanh(x); });
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return UnaryOp("Sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
 
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return UnaryOp("Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -367,7 +405,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   constexpr int64_t kTile = 64;
   const int64_t grain =
       std::max<int64_t>(1, kMatMulGrainFlops / std::max<int64_t>(1, k * m));
-  par::For(0, n, grain, [&](int64_t lo, int64_t hi) {
+  par::ForChecked(
+      "MatMul", 0, n, grain,
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo * m, hi * m);
+        acc->Read(pa, lo * k, hi * k);
+        acc->Read(pb, 0, k * m);  // every chunk sweeps all of b
+      },
+      [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* arow = pa + i * k;
       float* orow = po + i * m;
@@ -389,12 +434,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 // so any split would reorder the float summation; they stay serial by the
 // kernel contract (DESIGN.md §11).
 Tensor SumAll(const Tensor& a) {
+  EMBSR_SENTINEL_SERIAL_REDUCTION("SumAll");
   double acc = 0.0;
   for (int64_t i = 0; i < a.size(); ++i) acc += a.data()[i];
   return Tensor::Scalar(static_cast<float>(acc));
 }
 
 Tensor SumRowsTo1xD(const Tensor& a) {
+  EMBSR_SENTINEL_SERIAL_REDUCTION("SumRowsTo1xD");
   EMBSR_CHECK_EQ(a.ndim(), 2);
   const int64_t n = a.dim(0), d = a.dim(1);
   Tensor out({1, d});
@@ -410,17 +457,24 @@ Tensor SumColsToNx1(const Tensor& a) {
   Tensor out({n, 1});
   const float* pa = a.data();
   float* po = out.data();
-  par::For(0, n, RowGrain(d), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      double acc = 0.0;
-      for (int64_t j = 0; j < d; ++j) acc += pa[i * d + j];
-      po[i] = static_cast<float>(acc);
-    }
-  });
+  par::ForChecked(
+      "SumColsToNx1", 0, n, RowGrain(d),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo, hi);
+        acc->Read(pa, lo * d, hi * d);
+      },
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          double acc = 0.0;
+          for (int64_t j = 0; j < d; ++j) acc += pa[i * d + j];
+          po[i] = static_cast<float>(acc);
+        }
+      });
   return out;
 }
 
 float MeanAll(const Tensor& a) {
+  EMBSR_SENTINEL_SERIAL_REDUCTION("MeanAll");
   EMBSR_CHECK_GT(a.size(), 0);
   double acc = 0.0;
   for (int64_t i = 0; i < a.size(); ++i) acc += a.data()[i];
@@ -433,7 +487,13 @@ Tensor RowSoftmax(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  par::For(0, n, RowGrain(m), [&](int64_t lo, int64_t hi) {
+  par::ForChecked(
+      "RowSoftmax", 0, n, RowGrain(m),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo * m, hi * m);
+        acc->Read(pa, lo * m, hi * m);
+      },
+      [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* row = pa + i * m;
       float* orow = po + i * m;
@@ -462,7 +522,14 @@ Tensor RowSoftmaxMasked(const Tensor& a, const Tensor& mask) {
   const float* pa = a.data();
   const float* pm = mask.data();
   float* po = out.data();
-  par::For(0, n, RowGrain(m), [&](int64_t lo, int64_t hi) {
+  par::ForChecked(
+      "RowSoftmaxMasked", 0, n, RowGrain(m),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo * m, hi * m);
+        acc->Read(pa, lo * m, hi * m);
+        acc->Read(pm, lo * m, hi * m);
+      },
+      [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* arow = pa + i * m;
       const float* mrow = pm + i * m;
@@ -493,16 +560,22 @@ Tensor RowLogSumExp(const Tensor& a) {
   Tensor out({n, 1});
   const float* pa = a.data();
   float* po = out.data();
-  par::For(0, n, RowGrain(m), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* row = pa + i * m;
-      float mx = row[0];
-      for (int64_t j = 1; j < m; ++j) mx = std::max(mx, row[j]);
-      double z = 0.0;
-      for (int64_t j = 0; j < m; ++j) z += std::exp(row[j] - mx);
-      po[i] = mx + static_cast<float>(std::log(z));
-    }
-  });
+  par::ForChecked(
+      "RowLogSumExp", 0, n, RowGrain(m),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo, hi);
+        acc->Read(pa, lo * m, hi * m);
+      },
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float* row = pa + i * m;
+          float mx = row[0];
+          for (int64_t j = 1; j < m; ++j) mx = std::max(mx, row[j]);
+          double z = 0.0;
+          for (int64_t j = 0; j < m; ++j) z += std::exp(row[j] - mx);
+          po[i] = mx + static_cast<float>(std::log(z));
+        }
+      });
   return out;
 }
 
@@ -513,14 +586,23 @@ Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices) {
   Tensor out({n, d});
   const float* pt = table.data();
   float* po = out.data();
-  par::For(0, n, RowGrain(d), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const int64_t r = indices[static_cast<size_t>(i)];
-      EMBSR_CHECK_GE(r, 0);
-      EMBSR_CHECK_LT(r, table.dim(0));
-      std::memcpy(po + i * d, pt + r * d, sizeof(float) * d);
-    }
-  });
+  par::ForChecked(
+      "GatherRows", 0, n, RowGrain(d),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo * d, hi * d);
+        // Which table rows get read depends on the (data-dependent)
+        // indices; declare the whole table — reads never conflict anyway.
+        acc->Read(pt, 0, table.size());
+        acc->Read(indices.data(), lo, hi);
+      },
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const int64_t r = indices[static_cast<size_t>(i)];
+          EMBSR_CHECK_GE(r, 0);
+          EMBSR_CHECK_LT(r, table.dim(0));
+          std::memcpy(po + i * d, pt + r * d, sizeof(float) * d);
+        }
+      });
   return out;
 }
 
@@ -529,6 +611,7 @@ Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices) {
 // partition over table rows would still need the full index scan per chunk.
 void ScatterAddRows(const Tensor& grad_rows,
                     const std::vector<int64_t>& indices, Tensor* grad_table) {
+  EMBSR_SENTINEL_SERIAL_REDUCTION("ScatterAddRows");
   EMBSR_CHECK(grad_table != nullptr);
   EMBSR_CHECK_EQ(grad_rows.ndim(), 2);
   EMBSR_CHECK_EQ(grad_table->ndim(), 2);
@@ -554,12 +637,20 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  par::For(0, n, RowGrain(da + db), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      std::memcpy(po + i * (da + db), pa + i * da, sizeof(float) * da);
-      std::memcpy(po + i * (da + db) + da, pb + i * db, sizeof(float) * db);
-    }
-  });
+  par::ForChecked(
+      "ConcatCols", 0, n, RowGrain(da + db),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo * (da + db), hi * (da + db));
+        acc->Read(pa, lo * da, hi * da);
+        acc->Read(pb, lo * db, hi * db);
+      },
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          std::memcpy(po + i * (da + db), pa + i * da, sizeof(float) * da);
+          std::memcpy(po + i * (da + db) + da, pb + i * db,
+                      sizeof(float) * db);
+        }
+      });
   return out;
 }
 
@@ -568,9 +659,27 @@ Tensor ConcatRows(const Tensor& a, const Tensor& b) {
   EMBSR_CHECK_EQ(b.ndim(), 2);
   EMBSR_CHECK_EQ(a.dim(1), b.dim(1));
   const int64_t d = a.dim(1);
-  Tensor out({a.dim(0) + b.dim(0), d});
-  std::memcpy(out.data(), a.data(), sizeof(float) * a.size());
-  std::memcpy(out.data() + a.size(), b.data(), sizeof(float) * b.size());
+  const int64_t na = a.dim(0), nb = b.dim(0);
+  Tensor out({na + nb, d});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // Row-parallel pure copy: output row i comes from a (i < na) or b.
+  par::ForChecked(
+      "ConcatRows", 0, na + nb, RowGrain(d),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo * d, hi * d);
+        const int64_t a_hi = hi < na ? hi : na;
+        if (lo < a_hi) acc->Read(pa, lo * d, a_hi * d);
+        const int64_t b_lo = lo > na ? lo : na;
+        if (b_lo < hi) acc->Read(pb, (b_lo - na) * d, (hi - na) * d);
+      },
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float* src = i < na ? pa + i * d : pb + (i - na) * d;
+          std::memcpy(po + i * d, src, sizeof(float) * d);
+        }
+      });
   return out;
 }
 
@@ -580,7 +689,13 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  par::For(0, n, RowGrain(d), [&](int64_t lo, int64_t hi) {
+  par::ForChecked(
+      "L2NormalizeRows", 0, n, RowGrain(d),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo * d, hi * d);
+        acc->Read(pa, lo * d, hi * d);
+      },
+      [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* row = pa + i * d;
       float* orow = po + i * d;

@@ -69,6 +69,14 @@ std::vector<std::string> CoveredKernelEquivNames(
   return MatchAll(kernel_equiv_test_cc, kCoverMarker);
 }
 
+std::vector<std::string> CoveredModelAuditNames(
+    const std::string& model_audits_cc) {
+  // The quoted-string argument distinguishes marker uses from the macro's
+  // own #define line (whose argument is the bare token `name`).
+  static const std::regex kAuditMarker(R"rx(EMBSR_MODEL_AUDIT\("([^"]+)"\))rx");
+  return MatchAll(model_audits_cc, kAuditMarker);
+}
+
 Result<std::vector<std::string>> ScanOpNames(const std::string& repo_root) {
   return ScanFile(repo_root + "/src/autograd/ops.h", &DeclaredOpNames);
 }
@@ -91,6 +99,12 @@ Result<std::vector<std::string>> ScanKernelEquivCoverage(
     const std::string& repo_root) {
   return ScanFile(repo_root + "/tests/kernel_equiv_test.cc",
                   &CoveredKernelEquivNames);
+}
+
+Result<std::vector<std::string>> ScanModelAuditCoverage(
+    const std::string& repo_root) {
+  return ScanFile(repo_root + "/src/analyze/model_audits.cc",
+                  &CoveredModelAuditNames);
 }
 
 }  // namespace verify

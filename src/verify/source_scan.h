@@ -41,15 +41,24 @@ std::vector<std::string> DeclaredTensorKernelNames(
 std::vector<std::string> CoveredKernelEquivNames(
     const std::string& kernel_equiv_test_cc);
 
+/// Model names carrying a registered tape audit in
+/// src/analyze/model_audits.cc, i.e. every `EMBSR_MODEL_AUDIT("Name")`
+/// coverage marker. Sorted, unique.
+std::vector<std::string> CoveredModelAuditNames(
+    const std::string& model_audits_cc);
+
 /// Convenience: reads and scans the named files under `repo_root`
 /// (src/autograd/ops.h, src/nn/layers.h, src/train/model_zoo.cc,
-/// src/tensor/tensor.h, tests/kernel_equiv_test.cc).
+/// src/tensor/tensor.h, tests/kernel_equiv_test.cc,
+/// src/analyze/model_audits.cc).
 Result<std::vector<std::string>> ScanOpNames(const std::string& repo_root);
 Result<std::vector<std::string>> ScanLayerNames(const std::string& repo_root);
 Result<std::vector<std::string>> ScanModelNames(const std::string& repo_root);
 Result<std::vector<std::string>> ScanTensorKernelNames(
     const std::string& repo_root);
 Result<std::vector<std::string>> ScanKernelEquivCoverage(
+    const std::string& repo_root);
+Result<std::vector<std::string>> ScanModelAuditCoverage(
     const std::string& repo_root);
 
 }  // namespace verify

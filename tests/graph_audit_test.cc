@@ -1,0 +1,300 @@
+// Structural audit of every zoo model's autograd graph (src/analyze).
+//
+// Three layers of enforcement, mirroring gradcheck_test.cc:
+//  1. Every registered model audit passes: all trainable parameters reach
+//     the loss, accumulation counts match graph fan-out, no orphaned ops,
+//     no aliased parameters.
+//  2. Coverage: every model name in train/model_zoo.cc has a registered
+//     audit in src/analyze/model_audits.cc (and no audit names a model the
+//     zoo no longer builds) — enforced by the EMBSR_MODEL_AUDIT source
+//     scan, so an unaudited new model fails here, not in review.
+//  3. Seeded mutants: a deliberately miswired model (disconnected
+//     embedding, double-accumulating backward, dropped op output, aliased
+//     parameter) must be *detected* — the auditor's alarm actually rings.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/graph_dump.h"
+#include "analyze/model_audits.h"
+#include "analyze/tape_audit.h"
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "gtest/gtest.h"
+#include "models/neural_model.h"
+#include "verify/source_scan.h"
+
+namespace embsr {
+namespace analyze {
+namespace {
+
+// ---- 1. Registered audits all pass ----------------------------------------
+
+TEST(GraphAudit, EveryZooModelPassesItsTapeAudit) {
+  int neural_audited = 0;
+  for (const ModelAuditSpec& spec : ModelAudits()) {
+    const ModelAuditOutcome outcome = RunModelAudit(spec);
+    ASSERT_TRUE(outcome.known) << spec.model;
+    if (!outcome.neural) continue;
+    ++neural_audited;
+    EXPECT_TRUE(outcome.report.ok())
+        << spec.model << ": " << outcome.report.ToString();
+    EXPECT_GT(outcome.report.stats.reachable_nodes, 0) << spec.model;
+    EXPECT_GT(outcome.report.stats.parameters, 0) << spec.model;
+  }
+  // The paper's Table 3 zoo: 13+ gradient-trained models must be audited.
+  EXPECT_GE(neural_audited, 13);
+}
+
+// ---- 2. Coverage enforced by source scan ----------------------------------
+
+TEST(GraphAudit, EveryZooModelHasARegisteredAudit) {
+  const auto models = verify::ScanModelNames(EMBSR_REPO_ROOT);
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+  ASSERT_FALSE(models.value().empty());
+  const auto covered = verify::ScanModelAuditCoverage(EMBSR_REPO_ROOT);
+  ASSERT_TRUE(covered.ok()) << covered.status().ToString();
+  for (const std::string& name : models.value()) {
+    EXPECT_TRUE(std::binary_search(covered.value().begin(),
+                                   covered.value().end(), name))
+        << "model '" << name << "' is built by src/train/model_zoo.cc but "
+        << "has no tape audit; add an EMBSR_MODEL_AUDIT entry to "
+        << "src/analyze/model_audits.cc";
+  }
+}
+
+TEST(GraphAudit, NoStaleAuditRegistrations) {
+  const auto models = verify::ScanModelNames(EMBSR_REPO_ROOT);
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+  const auto covered = verify::ScanModelAuditCoverage(EMBSR_REPO_ROOT);
+  ASSERT_TRUE(covered.ok()) << covered.status().ToString();
+  for (const std::string& name : covered.value()) {
+    EXPECT_TRUE(std::binary_search(models.value().begin(),
+                                   models.value().end(), name))
+        << "audit '" << name << "' names a model train/model_zoo.cc does "
+        << "not build; remove the stale EMBSR_MODEL_AUDIT entry";
+  }
+  // The scan and the in-memory registry must agree (a marker without an
+  // actual registration, or vice versa, means the macro discipline broke).
+  for (const std::string& name : covered.value()) {
+    EXPECT_NE(FindModelAudit(name), nullptr) << name;
+  }
+  EXPECT_EQ(covered.value().size(), ModelAudits().size());
+}
+
+TEST(GraphAudit, ScanFindsKnownNames) {
+  // Guards the scan regex itself against rot: if the marker style changes,
+  // this fails before the coverage tests silently pass on empty sets.
+  const auto covered = verify::ScanModelAuditCoverage(EMBSR_REPO_ROOT);
+  ASSERT_TRUE(covered.ok()) << covered.status().ToString();
+  EXPECT_TRUE(std::binary_search(covered.value().begin(),
+                                 covered.value().end(), "EMBSR"));
+  EXPECT_TRUE(std::binary_search(covered.value().begin(),
+                                 covered.value().end(), "GRU4Rec"));
+}
+
+// ---- 3. Seeded mutants: the alarm must ring -------------------------------
+
+/// A deliberately miswired model: registers an item table AND an operation
+/// table, but Logits never touches the operation table — exactly the
+/// silent dead-embedding failure the auditor exists to catch.
+class DisconnectedOpsModel : public NeuralSessionModel {
+ public:
+  DisconnectedOpsModel(int64_t num_items, int64_t num_ops,
+                       const TrainConfig& cfg)
+      : NeuralSessionModel("DisconnectedOps", num_items, num_ops, cfg) {
+    items_ = RegisterParameter(
+        "items", Tensor::Randn({num_items, cfg.embedding_dim}, 0.1f, rng()));
+    ops_ = RegisterParameter(
+        "ops", Tensor::Randn({num_ops, cfg.embedding_dim}, 0.1f, rng()));
+    proj_ = RegisterParameter(
+        "proj",
+        Tensor::Randn({cfg.embedding_dim, num_items}, 0.1f, rng()));
+  }
+
+ protected:
+  ag::Variable Logits(const Example& ex) override {
+    ag::Variable rows = ag::GatherRows(items_, ex.macro_items);
+    ag::Variable pooled = ag::MeanRowsTo1xD(rows);
+    return ag::MatMul(pooled, proj_);  // ops_ never consulted
+  }
+
+ private:
+  ag::Variable items_, ops_, proj_;
+};
+
+TEST(GraphAudit, DetectsDisconnectedEmbedding) {
+  TrainConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.seed = 17;
+  DisconnectedOpsModel model(12, 4, cfg);
+  model.SetTraining(false);
+
+  Example ex;
+  ex.macro_items = {3, 7, 5};
+  ex.target = 9;
+
+  ag::Tape tape;
+  ag::Variable loss = model.LossOn(ex);
+  loss.Backward();
+  const TapeAuditReport report =
+      AuditTape(loss, model.NamedParameters(), tape);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& f : report.failures) {
+    found = found || f.find("dead parameter 'ops'") != std::string::npos;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+
+  // The same wiring with the dead table explicitly allowed is clean...
+  TapeAuditOptions allow;
+  allow.allowed_dead_params = {"ops"};
+  EXPECT_TRUE(AuditTape(loss, model.NamedParameters(), tape, allow).ok());
+  // ...and allowing a live parameter is itself flagged as stale.
+  TapeAuditOptions stale;
+  stale.allowed_dead_params = {"items"};
+  const TapeAuditReport stale_report =
+      AuditTape(loss, model.NamedParameters(), tape, stale);
+  ASSERT_FALSE(stale_report.ok());
+  EXPECT_NE(stale_report.failures[0].find("stale allowance"),
+            std::string::npos);
+}
+
+TEST(GraphAudit, DetectsDoubleAccumulation) {
+  ag::Tape tape;
+  ag::Variable x(Tensor::Full({2, 2}, 1.0f), /*requires_grad=*/true);
+  // Hand-built op whose backward accumulates into its parent twice — the
+  // kind of bug a refactored backward_fn can introduce silently, since the
+  // doubled gradient still has the right shape.
+  auto buggy = std::make_shared<ag::Node>();
+  buggy->op = "BuggyOp";
+  buggy->value = Tensor::Scalar(4.0f);
+  buggy->requires_grad = true;
+  buggy->parents = {x.node()};
+  auto xn = x.node();
+  buggy->backward_fn = [xn](ag::Node* o) {
+    xn->AccumulateGrad(Tensor::Full(xn->value.shape(), o->grad.at(0)));
+    xn->AccumulateGrad(Tensor::Full(xn->value.shape(), o->grad.at(0)));
+  };
+  ag::Variable root = ag::Variable::FromNode(buggy);
+  root.Backward();
+
+  const TapeAuditReport report =
+      AuditTape(root, {{"x", x}}, tape);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& f : report.failures) {
+    found =
+        found || f.find("gradient accumulation mismatch") != std::string::npos;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+}
+
+TEST(GraphAudit, DetectsOrphanedOp) {
+  ag::Tape tape;
+  ag::Variable x(Tensor::Full({2, 2}, 2.0f), /*requires_grad=*/true);
+  ag::Variable y = ag::Mul(x, x);
+  { ag::Variable dropped = ag::Exp(y); }  // computed, then forgotten
+  ag::Variable loss = ag::SumAll(y);
+  loss.Backward();
+
+  const TapeAuditReport report = AuditTape(loss, {{"x", x}}, tape);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& f : report.failures) {
+    found = found || f.find("orphaned op 'Exp'") != std::string::npos;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+
+  TapeAuditOptions allow;
+  allow.allowed_orphan_ops = {"Exp"};
+  EXPECT_TRUE(AuditTape(loss, {{"x", x}}, tape, allow).ok())
+      << AuditTape(loss, {{"x", x}}, tape, allow).ToString();
+}
+
+TEST(GraphAudit, DetectsAliasedParameters) {
+  ag::Tape tape;
+  ag::Variable x(Tensor::Full({2, 2}, 1.0f), /*requires_grad=*/true);
+  ag::Variable loss = ag::SumAll(ag::Mul(x, x));
+  loss.Backward();
+
+  const TapeAuditReport report =
+      AuditTape(loss, {{"a", x}, {"b", x}}, tape);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.failures[0].find("aliased parameters"), std::string::npos)
+      << report.ToString();
+}
+
+// ---- Clean graphs, stats and dumps ----------------------------------------
+
+TEST(GraphAudit, CleanGraphAuditsCleanWithExactStats) {
+  ag::Tape tape;
+  ag::Variable x(Tensor::Full({2, 3}, 0.5f), /*requires_grad=*/true);
+  ag::Variable y = ag::Tanh(ag::Mul(x, x));
+  ag::Variable loss = ag::SumAll(y);
+  loss.Backward();
+
+  const TapeAuditReport report = AuditTape(loss, {{"x", x}}, tape);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.stats.tape_nodes, 4);  // leaf, Mul, Tanh, SumAll
+  EXPECT_EQ(report.stats.reachable_nodes, 4);
+  // Mul has two parent edges (x twice, with multiplicity), Tanh and SumAll
+  // one each.
+  EXPECT_EQ(report.stats.edges, 4);
+  EXPECT_EQ(report.stats.parameters, 1);
+  EXPECT_EQ(report.stats.parameter_scalars, 6);
+  EXPECT_EQ(report.stats.op_histogram.at("Mul"), 1);
+  EXPECT_EQ(report.stats.op_histogram.at("leaf"), 1);
+}
+
+TEST(GraphAudit, SharedSubexpressionFanOutCounted) {
+  // z = x*x used twice: z's fan-out is 2, x's is 2 (multiplicity in Mul).
+  ag::Tape tape;
+  ag::Variable x(Tensor::Full({2, 2}, 1.5f), /*requires_grad=*/true);
+  ag::Variable z = ag::Mul(x, x);
+  ag::Variable loss = ag::SumAll(ag::Add(z, z));
+  loss.Backward();
+  EXPECT_EQ(z.node()->accum_count, 2);
+  const TapeAuditReport report = AuditTape(loss, {{"x", x}}, tape);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(GraphAudit, DotAndJsonDumpsRenderTheGraph) {
+  ag::Variable x(Tensor::Full({2, 2}, 1.0f), /*requires_grad=*/true);
+  ag::Variable loss = ag::SumAll(ag::Relu(x));
+
+  const std::vector<nn::NamedParameter> params = {{"weights/x", x}};
+  const std::string dot = ToDot(loss, params);
+  EXPECT_NE(dot.find("digraph autograd"), std::string::npos);
+  EXPECT_NE(dot.find("SumAll"), std::string::npos);
+  EXPECT_NE(dot.find("weights/x"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+
+  const std::string json = ToJson(loss, params);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"op\":\"Relu\""), std::string::npos);
+  EXPECT_NE(json.find("\"param\":\"weights/x\""), std::string::npos);
+  EXPECT_NE(json.find("\"edges\":"), std::string::npos);
+}
+
+TEST(GraphAudit, TapeScopesNestAndRestore) {
+  EXPECT_EQ(ag::Tape::Active(), nullptr);
+  ag::Tape outer;
+  EXPECT_EQ(ag::Tape::Active(), &outer);
+  ag::Variable a(Tensor::Scalar(1.0f));
+  {
+    ag::Tape inner;
+    EXPECT_EQ(ag::Tape::Active(), &inner);
+    ag::Variable b(Tensor::Scalar(2.0f));
+    EXPECT_EQ(inner.nodes().size(), 1u);  // only b
+  }
+  EXPECT_EQ(ag::Tape::Active(), &outer);
+  EXPECT_EQ(outer.nodes().size(), 1u);  // only a; inner recorded b
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace embsr
