@@ -10,6 +10,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "par/thread_pool.h"
+#include "prof/op_profiler.h"
 #include "train/experiment.h"
 #include "util/check.h"
 #include "util/env.h"
@@ -71,9 +72,11 @@ inline void PrintHeader(const char* experiment, const char* paper_ref,
 
 /// Machine-readable sidecar of a bench run. Collects experiment results and
 /// named scalars while the bench prints its human table, then writes
-/// `BENCH_<name>.json` (schema v2: workload scale, pool thread count, wall
-/// time, results with per-cell status ok|failed, scalars, metrics snapshot)
-/// on destruction.
+/// `BENCH_<name>.json` (schema v3: workload scale, pool thread count, wall
+/// time, results with per-cell status ok|failed, scalars, profiler block,
+/// metrics snapshot) on destruction. The `profile` block is always present;
+/// it reports `"enabled": false` with empty tables unless the process ran
+/// with EMBSR_PROF=1 (the constructor arms the profiler from the env).
 /// Failed sweep cells are recorded with their error instead of aborting the
 /// report — graceful degradation. The destination directory is
 /// the working directory, overridable with EMBSR_BENCH_JSON_DIR; the file
@@ -81,7 +84,9 @@ inline void PrintHeader(const char* experiment, const char* paper_ref,
 /// trajectory accumulates from.
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    prof::MaybeInitFromEnv();
+  }
 
   ~BenchReport() { Write(); }
 
@@ -108,7 +113,7 @@ class BenchReport {
     written_ = true;
     obs::JsonWriter w;
     w.BeginObject();
-    w.Key("schema_version").Int(2);
+    w.Key("schema_version").Int(3);
     w.Key("bench").String(name_);
     w.Key("threads").Int(par::ThreadCount());
     w.Key("workload").BeginObject();
@@ -141,6 +146,7 @@ class BenchReport {
     w.Key("scalars").BeginObject();
     for (const auto& [k, v] : scalars_) w.Key(k).Number(v);
     w.EndObject();
+    w.Key("profile").Raw(prof::ProfileJson());
     w.Key("metrics").Raw(obs::Registry::Global().SnapshotJson());
     w.EndObject();
 

@@ -1,10 +1,17 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json sidecar files against the schema (v2).
+"""Validate BENCH_<name>.json sidecar files against the schema (v3).
 
 Every bench binary in this repo writes a machine-readable report next to its
 human-readable table (see BenchReport in bench/bench_common.h). This script
 checks those reports structurally so CI catches a bench that silently stops
-emitting results or breaks the JSON contract.
+emitting results or breaks the JSON contract. Schema v3 adds the mandatory
+`profile` block (embsr::prof per-op attribution, memory watermarks, lane
+utilization and a naive roofline estimate) — validated here so a bench that
+stops emitting profiler data fails the gate even when EMBSR_PROF is unset.
+
+The checker also rejects duplication the JSON layer would otherwise hide:
+a key emitted twice anywhere in one file (e.g. the same scalar or bench name
+written twice) and two result rows for the same (model, dataset) cell.
 
 Usage:
   check_bench_json.py FILE [FILE ...]      validate existing report files
@@ -13,8 +20,10 @@ Usage:
                                            BENCH_*.json it produced
   check_bench_json.py --self-test          prove the validator still rejects
                                            seeded schema violations (the
-                                           'threads' field rules included)
-                                           and accepts a well-formed report
+                                           'threads' rules, the 'profile'
+                                           block rules, and both duplicate
+                                           rules included) and accepts a
+                                           well-formed report
 
 Exits non-zero and prints one line per problem on failure. Stdlib only.
 """
@@ -26,7 +35,7 @@ import subprocess
 import sys
 import tempfile
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 RESULT_KEYS = {
     "model": str,
@@ -39,8 +48,58 @@ RESULT_KEYS = {
 }
 
 
+# profile.top_ops[] / profile.components[] row metrics (besides the name).
+PROFILE_ROW_KEYS = (
+    "calls",
+    "forward_ms",
+    "backward_calls",
+    "backward_ms",
+    "flops",
+    "bytes_read",
+    "bytes_written",
+    "alloc_bytes",
+)
+
+PROFILE_MEMORY_KEYS = (
+    "live_bytes",
+    "peak_bytes",
+    "alloc_count",
+    "free_count",
+    "alloc_bytes_total",
+    "timeline_events",
+    "timeline_dropped",
+)
+
+PROFILE_ROOFLINE_KEYS = (
+    "flops_total",
+    "bytes_total",
+    "intensity_flops_per_byte",
+    "achieved_gflops",
+    "achieved_gbytes_per_sec",
+)
+
+
 def _err(errors, path, msg):
     errors.append(f"{path}: {msg}")
+
+
+class DuplicateKeyError(ValueError):
+    pass
+
+
+def _reject_duplicate_keys(pairs):
+    """object_pairs_hook that refuses a key written twice in one object.
+
+    json.load silently keeps the last value on duplicate keys, which would
+    let a bench overwrite one scalar (or the bench name itself) with another
+    of the same name and still validate. Surface it instead.
+    """
+    seen = set()
+    for k, _ in pairs:
+        if k in seen:
+            raise DuplicateKeyError(f"duplicate key {k!r} within one object")
+        seen.add(k)
+    return dict(pairs)
 
 
 def _check_number_map(errors, path, obj, where):
@@ -53,10 +112,92 @@ def _check_number_map(errors, path, obj, where):
             _err(errors, path, f"{where}[{k!r}] must be a number, got {v!r}")
 
 
+def _check_nonneg_number(errors, path, obj, where, key):
+    v = obj.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        _err(errors, path, f"{where}.{key} must be a number, got {v!r}")
+    elif v < 0:
+        _err(errors, path, f"{where}.{key} must be non-negative, got {v!r}")
+
+
+def _check_profile_rows(errors, path, rows, where, name_key):
+    if not isinstance(rows, list):
+        _err(errors, path, f"{where} must be an array")
+        return
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            _err(errors, path, f"{where}[{i}] must be an object")
+            continue
+        if not isinstance(row.get(name_key), str) or not row.get(name_key):
+            _err(errors, path,
+                 f"{where}[{i}] missing non-empty {name_key!r} string")
+        for key in PROFILE_ROW_KEYS:
+            _check_nonneg_number(errors, path, row, f"{where}[{i}]", key)
+
+
+def _check_profile(errors, path, profile):
+    """The schema-v3 `profile` block written by embsr::prof::ProfileJson().
+
+    Always present; with EMBSR_PROF unset it is `"enabled": false` with
+    empty tables, but the shape contract holds either way.
+    """
+    if not isinstance(profile, dict):
+        _err(errors, path, "missing 'profile' object (schema v3)")
+        return
+    if not isinstance(profile.get("enabled"), bool):
+        _err(errors, path, "profile.enabled must be a boolean")
+    for key in ("profiled_seconds", "steps", "step_ms",
+                "attributed_forward_ms", "attributed_backward_ms"):
+        _check_nonneg_number(errors, path, profile, "profile", key)
+    _check_profile_rows(errors, path, profile.get("top_ops"),
+                        "profile.top_ops", "op")
+    _check_profile_rows(errors, path, profile.get("components"),
+                        "profile.components", "component")
+
+    memory = profile.get("memory")
+    if not isinstance(memory, dict):
+        _err(errors, path, "profile.memory must be an object")
+    else:
+        for key in PROFILE_MEMORY_KEYS:
+            _check_nonneg_number(errors, path, memory, "profile.memory", key)
+
+    lanes = profile.get("lanes")
+    if not isinstance(lanes, list):
+        _err(errors, path, "profile.lanes must be an array")
+    else:
+        for i, lane in enumerate(lanes):
+            if not isinstance(lane, dict):
+                _err(errors, path, f"profile.lanes[{i}] must be an object")
+                continue
+            for key in ("lane", "busy_ms", "idle_ms", "chunks"):
+                _check_nonneg_number(errors, path, lane,
+                                     f"profile.lanes[{i}]", key)
+
+    if not isinstance(profile.get("pool"), dict):
+        _err(errors, path, "profile.pool must be an object")
+
+    roofline = profile.get("roofline")
+    if not isinstance(roofline, dict):
+        _err(errors, path, "profile.roofline must be an object")
+    else:
+        for key in PROFILE_ROOFLINE_KEYS:
+            _check_nonneg_number(errors, path, roofline,
+                                 "profile.roofline", key)
+
+    # An enabled profile with recorded steps must attribute them somewhere.
+    if profile.get("enabled") is True and profile.get("steps", 0) \
+            and not profile.get("top_ops"):
+        _err(errors, path,
+             "profile is enabled with steps recorded but top_ops is empty")
+
+
 def check_report(path, errors):
     try:
         with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
+            doc = json.load(f, object_pairs_hook=_reject_duplicate_keys)
+    except DuplicateKeyError as e:
+        _err(errors, path, str(e))
+        return
     except (OSError, json.JSONDecodeError) as e:
         _err(errors, path, f"not readable as JSON: {e}")
         return
@@ -102,7 +243,16 @@ def check_report(path, errors):
     if not isinstance(results, list):
         _err(errors, path, "'results' must be an array")
         results = []
+    seen_cells = set()
     for i, r in enumerate(results):
+        if isinstance(r, dict) and isinstance(r.get("model"), str) \
+                and isinstance(r.get("dataset"), str):
+            cell = (r["model"], r["dataset"])
+            if cell in seen_cells:
+                _err(errors, path,
+                     f"results[{i}] duplicates cell "
+                     f"(model={cell[0]!r}, dataset={cell[1]!r})")
+            seen_cells.add(cell)
         if not isinstance(r, dict):
             _err(errors, path, f"results[{i}] must be an object")
             continue
@@ -143,6 +293,8 @@ def check_report(path, errors):
                              "is not an integer")
 
     _check_number_map(errors, path, doc.get("scalars", {}), "scalars")
+
+    _check_profile(errors, path, doc.get("profile"))
 
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -185,6 +337,28 @@ def check_report(path, errors):
     if not results and not doc.get("scalars") and not doc.get("metrics"):
         _err(errors, path, "report carries no results, scalars, or metrics")
 
+    return doc
+
+
+def check_files(paths, errors):
+    """Validate each file and reject a bench name reused across files.
+
+    Two reports claiming the same bench name in one invocation means one of
+    them would silently shadow the other in any downstream aggregation
+    (profile_diff.py, bench_history.py key on the name).
+    """
+    seen_names = {}
+    for path in paths:
+        doc = check_report(path, errors)
+        name = doc.get("bench") if isinstance(doc, dict) else None
+        if isinstance(name, str) and name:
+            if name in seen_names:
+                _err(errors, path,
+                     f"duplicate bench name {name!r} "
+                     f"(already used by {seen_names[name]})")
+            else:
+                seen_names[name] = path
+
 
 def run_and_collect(argv):
     """Run a bench binary in a fresh temp dir; return produced report paths."""
@@ -202,8 +376,7 @@ def run_and_collect(argv):
                   file=sys.stderr)
             return 1
         errors = []
-        for path in reports:
-            check_report(path, errors)
+        check_files(reports, errors)
         for e in errors:
             print(e, file=sys.stderr)
         if not errors:
@@ -213,6 +386,58 @@ def run_and_collect(argv):
 
 
 # ---- Self-test ---------------------------------------------------------------
+
+
+def _valid_profile():
+    """A profile block as ProfileJson() emits with EMBSR_PROF=1."""
+    return {
+        "enabled": True,
+        "profiled_seconds": 1.5,
+        "steps": 10,
+        "step_ms": 1200.0,
+        "attributed_forward_ms": 700.0,
+        "attributed_backward_ms": 450.0,
+        "top_ops": [{
+            "op": "MatMul",
+            "calls": 100,
+            "forward_ms": 500.0,
+            "backward_calls": 100,
+            "backward_ms": 300.0,
+            "flops": 1.2e9,
+            "bytes_read": 4.0e8,
+            "bytes_written": 1.0e8,
+            "alloc_bytes": 1.0e8,
+        }],
+        "components": [{
+            "component": "gru",
+            "calls": 100,
+            "forward_ms": 500.0,
+            "backward_calls": 100,
+            "backward_ms": 300.0,
+            "flops": 1.2e9,
+            "bytes_read": 4.0e8,
+            "bytes_written": 1.0e8,
+            "alloc_bytes": 1.0e8,
+        }],
+        "memory": {
+            "live_bytes": 1024,
+            "peak_bytes": 4096,
+            "alloc_count": 12,
+            "free_count": 10,
+            "alloc_bytes_total": 8192,
+            "timeline_events": 0,
+            "timeline_dropped": 0,
+        },
+        "lanes": [{"lane": 0, "busy_ms": 900.0, "idle_ms": 600.0,
+                   "chunks": 64}],
+        "pool": {"chunk_ms_p50": 0.1, "chunk_ms_p99": 0.4,
+                 "chunk_imbalance_pct_p50": 100.0,
+                 "chunk_imbalance_pct_p99": 120.0},
+        "roofline": {"flops_total": 1.2e9, "bytes_total": 5.0e8,
+                     "intensity_flops_per_byte": 2.4,
+                     "achieved_gflops": 1.04,
+                     "achieved_gbytes_per_sec": 0.43},
+    }
 
 
 def _valid_report():
@@ -233,6 +458,7 @@ def _valid_report():
             "mrr": {"20": 0.25},
         }],
         "scalars": {},
+        "profile": _valid_profile(),
         "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
     }
 
@@ -288,6 +514,91 @@ def self_test():
     doc["results"][0]["hit"] = {}
     expect_rejected(doc, "empty hit map on ok cell", "is empty on an ok cell")
 
+    # The schema-v3 'profile' block: mandatory, shape-checked field by field.
+    doc = _valid_report()
+    del doc["profile"]
+    expect_rejected(doc, "profile absent", "missing 'profile' object")
+    doc = _valid_report()
+    doc["profile"]["enabled"] = "yes"
+    expect_rejected(doc, "profile.enabled non-bool",
+                    "profile.enabled must be a boolean")
+    doc = _valid_report()
+    doc["profile"]["attributed_forward_ms"] = -1.0
+    expect_rejected(doc, "negative attributed ms",
+                    "profile.attributed_forward_ms must be non-negative")
+    doc = _valid_report()
+    doc["profile"]["top_ops"][0]["flops"] = "many"
+    expect_rejected(doc, "non-numeric op flops",
+                    "profile.top_ops[0].flops must be a number")
+    doc = _valid_report()
+    del doc["profile"]["top_ops"][0]["op"]
+    expect_rejected(doc, "op row without name",
+                    "missing non-empty 'op' string")
+    doc = _valid_report()
+    del doc["profile"]["memory"]["peak_bytes"]
+    expect_rejected(doc, "memory without peak",
+                    "profile.memory.peak_bytes must be a number")
+    doc = _valid_report()
+    doc["profile"]["lanes"] = {"0": {}}
+    expect_rejected(doc, "lanes non-array", "profile.lanes must be an array")
+    doc = _valid_report()
+    del doc["profile"]["roofline"]
+    expect_rejected(doc, "roofline absent",
+                    "profile.roofline must be an object")
+    doc = _valid_report()
+    doc["profile"]["top_ops"] = []
+    expect_rejected(doc, "enabled profile with empty top_ops",
+                    "top_ops is empty")
+    # ...but a disabled profile with empty tables is exactly what every
+    # bench emits when EMBSR_PROF is unset, so that must stay clean.
+    doc = _valid_report()
+    doc["profile"]["enabled"] = False
+    doc["profile"]["steps"] = 0
+    doc["profile"]["top_ops"] = []
+    doc["profile"]["components"] = []
+    doc["profile"]["lanes"] = []
+    expect_clean(doc, "disabled profile with empty tables")
+
+    # Duplicate detection: a (model, dataset) cell reported twice in one
+    # file, and a JSON key written twice in one object.
+    doc = _valid_report()
+    doc["results"].append(dict(doc["results"][0]))
+    expect_rejected(doc, "duplicate result cell", "duplicates cell")
+    with tempfile.TemporaryDirectory(prefix="embsr_bench_selftest_") as tmp:
+        dup_path = os.path.join(tmp, "BENCH_self_test.json")
+        text = json.dumps(_valid_report())
+        # Splice a second 'scalars' key into the top-level object.
+        text = text.replace('"scalars": {}',
+                            '"scalars": {}, "scalars": {"x": 1}', 1)
+        with open(dup_path, "w", encoding="utf-8") as f:
+            f.write(text)
+        errors = []
+        check_report(dup_path, errors)
+        if not any("duplicate key 'scalars'" in e for e in errors):
+            failures.append(
+                f"duplicate JSON key: expected rejection, got {errors}")
+
+    # Duplicate bench names across files in one invocation.
+    with tempfile.TemporaryDirectory(prefix="embsr_bench_selftest_") as tmp:
+        os.makedirs(os.path.join(tmp, "a"))
+        os.makedirs(os.path.join(tmp, "b"))
+        paths = []
+        for sub in ("a", "b"):
+            p = os.path.join(tmp, sub, "BENCH_self_test.json")
+            with open(p, "w", encoding="utf-8") as f:
+                json.dump(_valid_report(), f)
+            paths.append(p)
+        errors = []
+        check_files(paths, errors)
+        if not any("duplicate bench name 'self_test'" in e for e in errors):
+            failures.append(
+                f"duplicate bench name: expected rejection, got {errors}")
+        errors = []
+        check_files(paths[:1], errors)
+        if errors:
+            failures.append(
+                f"single file unexpectedly rejected: {errors}")
+
     for msg in failures:
         print(f"self-test: {msg}", file=sys.stderr)
     print(f"self-test: {len(failures)} failure(s)")
@@ -306,8 +617,7 @@ def main(argv):
             return 2
         return run_and_collect(argv[1:])
     errors = []
-    for path in argv:
-        check_report(path, errors)
+    check_files(argv, errors)
     for e in errors:
         print(e, file=sys.stderr)
     if not errors:

@@ -19,6 +19,10 @@ Rules (rule ids in parentheses):
   todo-owner  TODO comments without an owner. `TODO(name): ...` survives;
               an ownerless TODO rots forever because nobody is on the hook
               for it.
+  raw-chrono  direct std::chrono use outside src/obs, src/prof and
+              src/util. All timing flows through WallTimer, obs spans or
+              prof::NowNs, so the profiler sees every measurement and
+              ad-hoc stopwatches can't drift from the instrumented paths.
 
 Suppressions: append `// lint: allow(<rule-id>): <reason>` to the offending
 line, or put it on the line directly above (it covers both). The reason is
@@ -45,25 +49,26 @@ import sys
 LAYER_DEPS = {
     "util": set(),
     "obs": {"util"},
-    "par": {"obs", "util"},
-    "tensor": {"par", "util"},
+    "prof": {"obs", "util"},
+    "par": {"obs", "prof", "util"},
+    "tensor": {"par", "prof", "util"},
     "metrics": {"util"},
     "failpoint": {"util", "obs"},
     "graph": {"tensor", "util"},
-    "autograd": {"tensor", "obs", "util"},
+    "autograd": {"tensor", "obs", "prof", "util"},
     "optim": {"autograd", "tensor", "obs", "util"},
-    "nn": {"autograd", "tensor", "obs", "util", "failpoint"},
+    "nn": {"autograd", "tensor", "obs", "prof", "util", "failpoint"},
     "data": {"util", "failpoint"},
     "datagen": {"data", "obs", "util", "failpoint"},
     "robust": {"failpoint", "nn", "optim", "autograd", "tensor", "obs",
                "util"},
     "models": {"nn", "optim", "data", "graph", "metrics", "robust",
-               "failpoint", "autograd", "tensor", "obs", "util"},
+               "failpoint", "autograd", "tensor", "obs", "prof", "util"},
     "core": {"models", "nn", "optim", "data", "graph", "metrics", "robust",
              "failpoint", "autograd", "tensor", "obs", "util"},
     "train": {"core", "datagen", "models", "nn", "optim", "data", "graph",
               "metrics", "robust", "failpoint", "autograd", "tensor", "par",
-              "obs", "util"},
+              "obs", "prof", "util"},
     "verify": {"train", "core", "datagen", "models", "nn", "optim", "data",
                "graph", "metrics", "robust", "failpoint", "autograd",
                "tensor", "obs", "util"},
@@ -87,6 +92,10 @@ RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
 # Matched against the raw line: TODO lives in comments, which the other
 # rules strip. Owner must follow immediately in parens: TODO(name).
 TODO_OWNER_RE = re.compile(r"\bTODO\b(?!\([A-Za-z0-9_.@-]+\))")
+RAW_CHRONO_RE = re.compile(r"\bstd::chrono\b")
+# The only directories allowed to read the clock directly; everyone else
+# measures through WallTimer / obs spans / prof::NowNs.
+CHRONO_EXEMPT_DIRS = ("obs", "prof", "util")
 
 
 def strip_comments(line):
@@ -127,6 +136,9 @@ def lint_file(rel_path, text):
     violations = []
     layer = file_layer(rel_path)
     in_env_cc = rel_path == os.path.join("src", "util", "env.cc")
+    chrono_exempt = any(
+        rel_path.startswith(os.path.join("src", d) + os.sep)
+        for d in CHRONO_EXEMPT_DIRS)
 
     carried = None  # suppression declared on the previous line
     for i, raw in enumerate(text.splitlines(), start=1):
@@ -185,6 +197,11 @@ def lint_file(rel_path, text):
             check("data-arith",
                   ".data() pointer arithmetic outside the kernel layers; "
                   "index via at()/vec() or justify byte-level I/O")
+        if RAW_CHRONO_RE.search(code) and not chrono_exempt:
+            check("raw-chrono",
+                  "direct std::chrono outside src/obs, src/prof and "
+                  "src/util; time through WallTimer, obs spans or "
+                  "prof::NowNs so the profiler sees every measurement")
         # TODOs live in comments, so this rule scans the raw line.
         if TODO_OWNER_RE.search(raw):
             check("todo-owner",
@@ -260,7 +277,20 @@ SELF_TEST_CASES = [
     ("layer-dag", "src/analyze/x.cc",
      '#include "verify/gradcheck.h"',
      '#include "train/model_zoo.h"'),
+    ("raw-chrono", "src/models/x.cc",
+     "auto t0 = std::chrono::steady_clock::now();",
+     "WallTimer timer;"),
+    ("raw-chrono", "bench/x.cc",
+     "std::this_thread::sleep_for(std::chrono::milliseconds(5));",
+     "const double secs = timer.Seconds();"),
+    ("layer-dag", "src/obs/x.cc",
+     '#include "prof/op_profiler.h"',
+     '#include "obs/metrics.h"'),
 ]
+
+# The raw-chrono exemption list, pinned separately because the table above
+# can only express "fires on bad / quiet on good" at one path.
+CHRONO_EXEMPT_SNIPPET = "auto t0 = std::chrono::steady_clock::now();\n"
 
 
 def self_test():
@@ -272,9 +302,15 @@ def self_test():
         clean = [v for v in lint_file(path, good + "\n") if v[2] == rule]
         if clean:
             failures.append(f"rule '{rule}' false-positive on: {good!r}")
+    exempt_paths = [os.path.join("src", d, "x.cc") for d in CHRONO_EXEMPT_DIRS]
+    for path in exempt_paths:
+        fired = [v for v in lint_file(path, CHRONO_EXEMPT_SNIPPET)
+                 if v[2] == "raw-chrono"]
+        if fired:
+            failures.append(f"raw-chrono fired in exempt dir: {path}")
     for msg in failures:
         print(f"self-test: {msg}")
-    print(f"self-test: {len(SELF_TEST_CASES)} cases, "
+    print(f"self-test: {len(SELF_TEST_CASES) + len(exempt_paths)} cases, "
           f"{len(failures)} failure(s)")
     return 1 if failures else 0
 

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Diff the `profile` blocks of two BENCH_*.json reports with thresholds.
+
+Compares a baseline report against a current one (both schema-v3 files as
+written by bench_common.h, or bare profile objects) and fails when any
+watched metric regresses past its threshold:
+
+  - per-op forward_ms / backward_ms   (--max-op-regress-pct, default 30,
+                                       ops under --min-ms are ignored —
+                                       timer noise dominates tiny ops)
+  - attributed_forward_ms, attributed_backward_ms, step_ms totals
+                                      (--max-total-regress-pct, default 20)
+  - memory.peak_bytes                 (--max-peak-regress-pct, default 10 —
+                                       byte counts are deterministic, so the
+                                       allowance is small)
+
+Ops that appear only in the current profile are reported as "new" but do
+not fail the diff (a new op has no baseline to regress from); ops that
+vanish are reported as "gone". Improvements are printed for the record.
+
+Usage:
+  profile_diff.py BASELINE.json CURRENT.json [--max-op-regress-pct N]
+                  [--max-total-regress-pct N] [--max-peak-regress-pct N]
+                  [--min-ms MS]
+  profile_diff.py --self-test
+
+Exit codes: 0 clean, 1 regression found, 2 usage/IO error. Stdlib only.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+TOTAL_KEYS = ("step_ms", "attributed_forward_ms", "attributed_backward_ms")
+
+
+def load_profile(path):
+    """Accepts a full BENCH_*.json (takes its 'profile') or a bare block."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: top level must be an object")
+    profile = doc.get("profile", doc)
+    if not isinstance(profile, dict) or "top_ops" not in profile:
+        raise ValueError(f"{path}: no usable 'profile' block")
+    return profile
+
+
+def _ops_by_name(profile):
+    out = {}
+    for row in profile.get("top_ops", []):
+        if isinstance(row, dict) and isinstance(row.get("op"), str):
+            out[row["op"]] = row
+    return out
+
+
+def _pct(baseline, current):
+    return (current / baseline - 1.0) * 100.0
+
+
+def diff_profiles(baseline, current, opts):
+    """Returns (regressions, notes): lists of human-readable lines."""
+    regressions = []
+    notes = []
+
+    for key in TOTAL_KEYS:
+        b = baseline.get(key)
+        c = current.get(key)
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            continue
+        if b < opts.min_ms:
+            continue
+        pct = _pct(b, c)
+        line = f"total {key}: {b:.3f} -> {c:.3f} ms ({pct:+.1f}%)"
+        if pct > opts.max_total_regress_pct:
+            regressions.append(line)
+        elif pct < -opts.max_total_regress_pct:
+            notes.append("improved " + line)
+
+    base_ops = _ops_by_name(baseline)
+    cur_ops = _ops_by_name(current)
+    for name in sorted(set(base_ops) | set(cur_ops)):
+        if name not in base_ops:
+            notes.append(f"new op {name!r} (no baseline)")
+            continue
+        if name not in cur_ops:
+            notes.append(f"op {name!r} gone from current profile")
+            continue
+        for key in ("forward_ms", "backward_ms"):
+            b = base_ops[name].get(key, 0.0)
+            c = cur_ops[name].get(key, 0.0)
+            if not isinstance(b, (int, float)) \
+                    or not isinstance(c, (int, float)) or b < opts.min_ms:
+                continue
+            pct = _pct(b, c)
+            line = (f"op {name} {key}: {b:.3f} -> {c:.3f} ms "
+                    f"({pct:+.1f}%)")
+            if pct > opts.max_op_regress_pct:
+                regressions.append(line)
+            elif pct < -opts.max_op_regress_pct:
+                notes.append("improved " + line)
+
+    b_peak = baseline.get("memory", {}).get("peak_bytes")
+    c_peak = current.get("memory", {}).get("peak_bytes")
+    if isinstance(b_peak, (int, float)) and isinstance(c_peak, (int, float)) \
+            and b_peak > 0:
+        pct = _pct(b_peak, c_peak)
+        line = f"memory.peak_bytes: {b_peak:.0f} -> {c_peak:.0f} ({pct:+.1f}%)"
+        if pct > opts.max_peak_regress_pct:
+            regressions.append(line)
+        elif pct < -opts.max_peak_regress_pct:
+            notes.append("improved " + line)
+
+    return regressions, notes
+
+
+def _parser():
+    p = argparse.ArgumentParser(
+        description="Diff two BENCH json profile blocks with thresholds.")
+    p.add_argument("baseline", nargs="?")
+    p.add_argument("current", nargs="?")
+    p.add_argument("--max-op-regress-pct", type=float, default=30.0)
+    p.add_argument("--max-total-regress-pct", type=float, default=20.0)
+    p.add_argument("--max-peak-regress-pct", type=float, default=10.0)
+    p.add_argument("--min-ms", type=float, default=1.0,
+                   help="ignore per-op / total times below this baseline ms")
+    p.add_argument("--self-test", action="store_true")
+    return p
+
+
+# ---- Self-test ---------------------------------------------------------------
+
+
+def _synthetic_profile():
+    return {
+        "enabled": True,
+        "profiled_seconds": 2.0,
+        "steps": 10,
+        "step_ms": 1000.0,
+        "attributed_forward_ms": 600.0,
+        "attributed_backward_ms": 350.0,
+        "top_ops": [
+            {"op": "MatMul", "calls": 100, "forward_ms": 400.0,
+             "backward_calls": 100, "backward_ms": 250.0,
+             "flops": 1e9, "bytes_read": 4e8, "bytes_written": 1e8,
+             "alloc_bytes": 1e8},
+            {"op": "Sigmoid", "calls": 100, "forward_ms": 50.0,
+             "backward_calls": 100, "backward_ms": 20.0,
+             "flops": 1e7, "bytes_read": 1e7, "bytes_written": 1e7,
+             "alloc_bytes": 1e6},
+            {"op": "Row", "calls": 400, "forward_ms": 0.2,
+             "backward_calls": 400, "backward_ms": 0.1,
+             "flops": 0, "bytes_read": 1e5, "bytes_written": 1e5,
+             "alloc_bytes": 1e4},
+        ],
+        "memory": {"live_bytes": 0, "peak_bytes": 1 << 20,
+                   "alloc_count": 1000, "free_count": 1000,
+                   "alloc_bytes_total": 1 << 24,
+                   "timeline_events": 0, "timeline_dropped": 0},
+    }
+
+
+def self_test():
+    failures = []
+    opts = _parser().parse_args(["x", "y"])
+
+    base = _synthetic_profile()
+
+    # Identical profiles must be clean.
+    regs, _ = diff_profiles(base, copy.deepcopy(base), opts)
+    if regs:
+        failures.append(f"identical profiles flagged: {regs}")
+
+    # The acceptance case: an injected 2x regression on a hot op must fail.
+    worse = copy.deepcopy(base)
+    worse["top_ops"][0]["forward_ms"] *= 2.0
+    regs, _ = diff_profiles(base, worse, opts)
+    if not any("op MatMul forward_ms" in r for r in regs):
+        failures.append(f"2x MatMul regression not flagged: {regs}")
+
+    # A 2x blowup on a sub-min-ms op is timer noise, not a regression.
+    noisy = copy.deepcopy(base)
+    noisy["top_ops"][2]["forward_ms"] *= 2.0
+    regs, _ = diff_profiles(base, noisy, opts)
+    if regs:
+        failures.append(f"sub-min-ms op flagged: {regs}")
+
+    # Totals regress past their own threshold.
+    slow = copy.deepcopy(base)
+    slow["step_ms"] *= 1.5
+    regs, _ = diff_profiles(base, slow, opts)
+    if not any("total step_ms" in r for r in regs):
+        failures.append(f"step_ms regression not flagged: {regs}")
+
+    # Peak memory has the tightest allowance.
+    fat = copy.deepcopy(base)
+    fat["memory"]["peak_bytes"] = int(fat["memory"]["peak_bytes"] * 1.2)
+    regs, _ = diff_profiles(base, fat, opts)
+    if not any("memory.peak_bytes" in r for r in regs):
+        failures.append(f"peak_bytes regression not flagged: {regs}")
+
+    # A new op is a note, never a failure.
+    extra = copy.deepcopy(base)
+    extra["top_ops"].append({"op": "Tanh", "forward_ms": 100.0,
+                             "backward_ms": 50.0})
+    regs, notes = diff_profiles(base, extra, opts)
+    if regs or not any("new op 'Tanh'" in n for n in notes):
+        failures.append(f"new op mishandled: regs={regs} notes={notes}")
+
+    # Improvements are reported, not flagged.
+    fast = copy.deepcopy(base)
+    fast["top_ops"][0]["forward_ms"] /= 2.0
+    regs, notes = diff_profiles(base, fast, opts)
+    if regs or not any("improved op MatMul" in n for n in notes):
+        failures.append(f"improvement mishandled: regs={regs} notes={notes}")
+
+    for msg in failures:
+        print(f"self-test: {msg}", file=sys.stderr)
+    print(f"self-test: {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    opts = _parser().parse_args(argv)
+    if opts.self_test:
+        return self_test()
+    if not opts.baseline or not opts.current:
+        print("need BASELINE and CURRENT paths (or --self-test)",
+              file=sys.stderr)
+        return 2
+    try:
+        baseline = load_profile(opts.baseline)
+        current = load_profile(opts.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"profile_diff: {e}", file=sys.stderr)
+        return 2
+    regressions, notes = diff_profiles(baseline, current, opts)
+    for n in notes:
+        print(f"note: {n}")
+    for r in regressions:
+        print(f"REGRESSION: {r}", file=sys.stderr)
+    if regressions:
+        return 1
+    print(f"ok: no regressions "
+          f"({opts.baseline} -> {opts.current})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -17,6 +17,12 @@
 # declarations, so it is deterministic at every thread count — the
 # EMBSR_THREADS=4 leg exercises the same contracts under a real pool.
 #
+# Each config runs three ctest legs: the full suite, the concurrency-
+# sensitive suites re-run under a forced EMBSR_THREADS=4 pool, and the
+# prof/par/autograd suites re-run with EMBSR_PROF=1 EMBSR_THREADS=4 so the
+# embsr::prof attribution counters race under a real pool (and under TSan
+# in the `thread` config).
+#
 # Build dirs: build-<config> (override root with EMBSR_SAN_BUILD_DIR).
 # Logs: <build dir>/ctest-<config>.log.
 
@@ -96,6 +102,23 @@ for config in "${configs[@]}"; do
   else
     echo "=== [$config threads=4] FAIL"
     failed+=("$config-threads4")
+  fi
+
+  # Third leg: the embsr::prof attribution counters under live profiling.
+  # EMBSR_PROF=1 arms the collector (shared shards, mem tracker atomics,
+  # pool lane stats) while the 4-lane pool runs the prof/par/autograd
+  # suites — under the thread config this puts the profiler's concurrent
+  # record paths in front of TSan, which is the point of the leg.
+  prof_log="$build_dir/ctest-$config-prof.log"
+  echo "=== [$config] ctest EMBSR_PROF=1 EMBSR_THREADS=4 (log: $prof_log)"
+  if (cd "$build_dir" && EMBSR_PROF=1 EMBSR_THREADS=4 ctest \
+        --output-on-failure \
+        -R '^(Prof|CostModel|MemTracker|ParFor|ThreadPool|Autograd|Gradcheck)' \
+        2>&1 | tee "$prof_log"); then
+    echo "=== [$config prof] PASS"
+  else
+    echo "=== [$config prof] FAIL"
+    failed+=("$config-prof")
   fi
 done
 

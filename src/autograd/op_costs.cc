@@ -1,0 +1,184 @@
+#include "autograd/op_costs.h"
+
+#include <cstdint>
+
+#include "prof/cost_model.h"
+
+namespace embsr {
+namespace ag {
+
+namespace {
+
+using prof::NumElems;
+using prof::OpCost;
+using prof::ShapeInfo;
+
+/// Output element count.
+double Out(const ShapeInfo& s) { return static_cast<double>(NumElems(s.output)); }
+
+/// Element count of input `i` (0 if absent — defensive, shapes come from
+/// the live graph).
+double In(const ShapeInfo& s, size_t i) {
+  return i < s.inputs.size() ? static_cast<double>(NumElems(s.inputs[i]))
+                             : 0.0;
+}
+
+/// Sum of all input element counts.
+double InAll(const ShapeInfo& s) {
+  double n = 0.0;
+  for (const auto& shape : s.inputs) {
+    n += static_cast<double>(NumElems(shape));
+  }
+  return n;
+}
+
+/// Trailing dimension of the output ([ ] -> 1).
+double OutLastDim(const ShapeInfo& s) {
+  return s.output.empty() ? 1.0
+                          : static_cast<double>(s.output.back());
+}
+
+constexpr double kB = 4.0;  // bytes per float32 element
+
+}  // namespace
+
+// Cost-model contract (DESIGN.md §13): flops counts arithmetic operations
+// (one multiply-add = 2), transcendentals (exp/tanh/log/...) are charged a
+// flat 4 flops/element, and bytes assume every operand is streamed exactly
+// once — a traffic lower bound, not a cache model. Multi-pass reductions
+// (softmax, layernorm) charge one flop per element per pass.
+//
+// Marker format: the quoted name in an EMBSR_OP_COST marker must be the
+// ops.h declaration name; verify::ScanOpCostCoverage diffs the two lists in
+// both directions (the scan is textual, so spelling the quoted form in this
+// comment would register a phantom op).
+#define EMBSR_OP_COST(name) \
+  prof::RegisterOpCost(name, [](const ShapeInfo& s) -> OpCost
+
+void RegisterOpCostModels() {
+  static const bool registered = [] {
+    // -- Elementwise binary ---------------------------------------------------
+    EMBSR_OP_COST("Add") {
+      return {Out(s), kB * InAll(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Sub") {
+      return {Out(s), kB * InAll(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Mul") {
+      return {Out(s), kB * InAll(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("AddRowBroadcast") {
+      return {Out(s), kB * InAll(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("MulRowBroadcast") {
+      return {Out(s), kB * InAll(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("MulColBroadcast") {
+      return {Out(s), kB * InAll(s), kB * Out(s)};
+    });
+
+    // -- Elementwise unary ----------------------------------------------------
+    EMBSR_OP_COST("Scale") {
+      return {Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("AddScalar") {
+      return {Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Neg") {
+      return {Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Relu") {
+      return {Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Sigmoid") {
+      return {4.0 * Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Tanh") {
+      return {4.0 * Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Exp") {
+      return {4.0 * Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Log") {
+      return {4.0 * Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Dropout") {
+      return {Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+
+    // -- Linear algebra -------------------------------------------------------
+    // MatMul [n,k]x[k,m]: 2nkm flops (n*k input elements each fused
+    // multiply-added across the m output columns).
+    EMBSR_OP_COST("MatMul") {
+      return {2.0 * In(s, 0) * OutLastDim(s), kB * InAll(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Transpose") {
+      return {0.0, kB * In(s, 0), kB * Out(s)};
+    });
+
+    // -- Data movement --------------------------------------------------------
+    EMBSR_OP_COST("ConcatCols") {
+      return {0.0, kB * InAll(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("ConcatRows") {
+      return {0.0, kB * InAll(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("StackRows") {
+      return {0.0, kB * InAll(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("SliceRows") {
+      return {0.0, kB * Out(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("Row") {
+      return {0.0, kB * Out(s), kB * Out(s)};
+    });
+    // Embedding gather: only the selected rows are touched, so traffic is
+    // proportional to the *output*, not the table.
+    EMBSR_OP_COST("GatherRows") {
+      return {0.0, kB * Out(s), kB * Out(s)};
+    });
+    EMBSR_OP_COST("RepeatRow") {
+      return {0.0, kB * In(s, 0), kB * Out(s)};
+    });
+
+    // -- Row reductions / normalizations --------------------------------------
+    // Softmax: max + subtract + exp(4) + sum + divide = 8 passes-worth.
+    EMBSR_OP_COST("RowSoftmax") {
+      return {8.0 * Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("RowSoftmaxMasked") {
+      return {8.0 * Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("SumAll") {
+      return {In(s, 0), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("SumRowsTo1xD") {
+      return {In(s, 0), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("SumColsToNx1") {
+      return {In(s, 0), kB * In(s, 0), kB * Out(s)};
+    });
+    EMBSR_OP_COST("MeanRowsTo1xD") {
+      return {In(s, 0) + Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    // L2 normalize: square-accumulate (2n) + divide (n).
+    EMBSR_OP_COST("L2NormalizeRowsOp") {
+      return {3.0 * Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    // LayerNorm: mean (n) + centered variance (2n) + subtract (n) + scale (n).
+    EMBSR_OP_COST("LayerNormRows") {
+      return {5.0 * Out(s), kB * In(s, 0), kB * Out(s)};
+    });
+    // Fused softmax (8 passes) + log-likelihood pick + reduce (~1 pass).
+    EMBSR_OP_COST("SoftmaxCrossEntropy") {
+      return {9.0 * In(s, 0), kB * In(s, 0), kB * Out(s)};
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+#undef EMBSR_OP_COST
+
+}  // namespace ag
+}  // namespace embsr

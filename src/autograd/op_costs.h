@@ -1,0 +1,17 @@
+#ifndef EMBSR_AUTOGRAD_OP_COSTS_H_
+#define EMBSR_AUTOGRAD_OP_COSTS_H_
+
+namespace embsr {
+namespace ag {
+
+/// Registers an analytic prof cost model for every op declared in ops.h.
+/// Idempotent and thread-safe; called lazily from the first profiled op.
+/// Coverage is enforced both ways by verify::ScanOpCostCoverage +
+/// tests/prof_test.cc: an op declared without an EMBSR_OP_COST entry — or a
+/// stale entry for a removed op — fails ctest.
+void RegisterOpCostModels();
+
+}  // namespace ag
+}  // namespace embsr
+
+#endif  // EMBSR_AUTOGRAD_OP_COSTS_H_

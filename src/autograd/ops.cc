@@ -3,13 +3,41 @@
 #include <cmath>
 #include <cstring>
 
+#include "autograd/op_costs.h"
 #include "autograd/tape.h"
+#include "prof/op_profiler.h"
 #include "util/check.h"
 
 namespace embsr {
 namespace ag {
 
 namespace {
+
+/// Slow path taken only while EMBSR_PROF is on: looks up the op's cost
+/// model, stamps the active component label on the node (so backward time
+/// lands in the same bucket) and records the forward gap.
+void ProfileForwardNode(prof::Collector* pc, Node* node,
+                        const std::vector<Variable>& inputs) {
+  // Cost models live in a static-library TU of their own; registering here,
+  // on first profiled op, keeps them immune to linker dead-stripping.
+  static const bool registered = [] {
+    RegisterOpCostModels();
+    return true;
+  }();
+  (void)registered;
+  prof::ShapeInfo shapes;
+  shapes.output = node->value.shape();
+  shapes.inputs.reserve(inputs.size());
+  for (const auto& v : inputs) shapes.inputs.push_back(v.value().shape());
+  prof::OpCost cost;
+  if (prof::CostFn fn = prof::FindOpCost(node->op)) {
+    cost = fn(shapes);
+  } else {
+    prof::CountUncoveredOp();  // the source scan should make this impossible
+  }
+  node->component = prof::CurrentComponent();
+  pc->RecordForward(node->op, node->component, cost);
+}
 
 /// Builds the output node. Records parents and the backward closure only when
 /// some input requires grad, so inference-only forward passes build no graph.
@@ -36,6 +64,9 @@ Variable MakeOp(const char* op, Tensor value, std::vector<Variable> inputs,
     node->backward_fn = std::move(backward);
   }
   Tape::Record(node);
+  if (prof::Collector* pc = prof::Collector::ActiveOrNull()) {
+    ProfileForwardNode(pc, node.get(), inputs);
+  }
   return Variable::FromNode(node);
 }
 

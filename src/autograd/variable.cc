@@ -4,6 +4,7 @@
 
 #include "autograd/tape.h"
 #include "obs/trace.h"
+#include "prof/op_profiler.h"
 #include "util/check.h"
 
 namespace embsr {
@@ -94,10 +95,22 @@ void Variable::Backward() const {
 
   // `order` is post-order (children first); iterate from the back so each
   // node's grad is complete before it propagates to parents.
+  prof::Collector* pc = prof::Collector::ActiveOrNull();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;
-    if (n->backward_fn && n->grad_ready) n->backward_fn(n);
+    if (n->backward_fn && n->grad_ready) {
+      if (pc != nullptr) {
+        const int64_t t0 = prof::NowNs();
+        n->backward_fn(n);
+        pc->RecordBackward(n->op, n->component, prof::NowNs() - t0);
+      } else {
+        n->backward_fn(n);
+      }
+    }
   }
+  // Re-origin the forward gap so graph-walk time between this backward pass
+  // and the next recorded op is never charged to that op.
+  if (pc != nullptr) prof::Collector::MarkThisThread();
 }
 
 Variable Variable::FromNode(std::shared_ptr<Node> node) {

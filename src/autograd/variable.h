@@ -27,6 +27,10 @@ struct Node {
   /// built directly (parameters, constants). Always a string literal, so
   /// storing the pointer is safe.
   const char* op = "leaf";
+  /// Model-component label (prof::ComponentScope) active when the node was
+  /// recorded; set only while profiling, so backward time lands in the same
+  /// component bucket as forward time. Null or a string literal.
+  const char* component = nullptr;
   /// Gradient accumulations received since construction / the last
   /// ZeroGrad. The tape auditor (src/analyze) checks this against graph
   /// fan-out: after one backward pass it must equal the number of consumer

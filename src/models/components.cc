@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "prof/op_profiler.h"
 #include "util/check.h"
 
 namespace embsr {
@@ -27,6 +28,7 @@ GgnnLayer::GgnnLayer(int64_t dim, Rng* rng)
 Variable GgnnLayer::Forward(const Variable& h, const Tensor& a_in,
                             const Tensor& a_out) const {
   using namespace ag;  // NOLINT
+  prof::ComponentScope prof_component("ggnn");
   Variable m_in = MatMul(Constant(a_in), in_proj_.Forward(h));
   Variable m_out = MatMul(Constant(a_out), out_proj_.Forward(h));
   Variable a = ConcatCols(m_in, m_out);  // [n, 2d]
@@ -50,6 +52,7 @@ SoftAttentionReadout::SoftAttentionReadout(int64_t dim, Rng* rng)
 
 Variable SoftAttentionReadout::Forward(const Variable& seq) const {
   using namespace ag;  // NOLINT
+  prof::ComponentScope prof_component("attention_readout");
   const int64_t t = seq.value().dim(0);
   Variable h_last = Row(seq, t - 1);
   Variable query = RepeatRow(w1_.Forward(h_last), t);
@@ -78,6 +81,7 @@ SelfAttentionBlock::SelfAttentionBlock(int64_t dim, Rng* rng, float dropout)
 Variable SelfAttentionBlock::Forward(const Variable& x, const Tensor& mask,
                                      bool training, Rng* dropout_rng) const {
   using namespace ag;  // NOLINT
+  prof::ComponentScope prof_component("self_attention");
   const int64_t d = x.value().dim(1);
   Variable q = wq_.Forward(x);
   Variable k = wk_.Forward(x);

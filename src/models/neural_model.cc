@@ -9,6 +9,7 @@
 #include "obs/run_logger.h"
 #include "obs/trace.h"
 #include "optim/optimizer.h"
+#include "prof/op_profiler.h"
 #include "robust/ckpt_manager.h"
 #include "robust/failpoint.h"
 #include "robust/health.h"
@@ -53,6 +54,7 @@ NeuralSessionModel::NeuralSessionModel(std::string name, int64_t num_items,
 
 Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
   EMBSR_TRACE_SPAN("train/fit");
+  prof::MaybeInitFromEnv();
   if (data.train.empty()) {
     return Status::InvalidArgument("empty training split");
   }
@@ -157,6 +159,9 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
       opt.ZeroGrad();
       double batch_loss = 0.0;
       for (size_t i = begin; i < end; ++i) {
+        // One profiler step = one example's forward + backward; the per-op
+        // attributed times must sum to this span (prof_test pins it).
+        prof::StepScope prof_step;
         ag::Variable loss = LossOn(*order[i]);
         batch_loss += loss.value().at(0);
         // Scale so accumulated gradients equal the batch-mean gradient.
@@ -294,11 +299,16 @@ ag::Variable NeuralSessionModel::LossOn(const Example& ex) {
   // inside the session are checked by Embedding at lookup; the target is
   // only ever used as a logits column, so check it here at the model edge.
   EMBSR_CHECK_BOUNDS(ex.target, 0, num_items_);
-  return ag::SoftmaxCrossEntropy(Logits(ex), {ex.target});
+  ag::Variable logits = Logits(ex);
+  prof::ComponentScope prof_component("loss");
+  return ag::SoftmaxCrossEntropy(logits, {ex.target});
 }
 
 std::vector<float> NeuralSessionModel::ScoreAll(const Example& ex) {
   EMBSR_TIMED_SPAN("model/score_all", "model/score_all_ms");
+  // Inference has no StepScope; re-origin the forward gap here so time
+  // spent between scoring calls is never attributed to the first op.
+  prof::Collector::MarkThisThread();
   // Only toggle the mode flag if the model is actually in training mode.
   // When it is already in eval mode — the steady state after Fit(), and the
   // state the parallel evaluator pins via EnsureEvalMode() — this method

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "prof/op_profiler.h"
 #include "util/check.h"
 
 namespace embsr {
@@ -48,6 +49,7 @@ ag::Variable Embedding::Forward(const std::vector<int64_t>& indices) const {
 #if EMBSR_CONTRACTS_ENABLED
   for (const int64_t idx : indices) EMBSR_CHECK_BOUNDS(idx, 0, count_);
 #endif
+  prof::ComponentScope prof_component("embedding");
   return ag::GatherRows(table_, indices);
 }
 
@@ -98,6 +100,7 @@ GRU::GRU(int64_t input_dim, int64_t hidden_dim, Rng* rng)
 ag::Variable GRU::Forward(const ag::Variable& xs) const {
   const int64_t t = xs.value().dim(0);
   EMBSR_CHECK_GT(t, 0);
+  prof::ComponentScope prof_component("gru");
   ag::Variable h = ag::Constant(Tensor::Zeros({1, cell_.hidden_dim()}));
   std::vector<ag::Variable> states;
   states.reserve(t);

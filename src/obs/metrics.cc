@@ -24,6 +24,35 @@ void Histogram::Observe(double v) {
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
+double Histogram::Percentile(double p) const {
+  p = std::min(100.0, std::max(0.0, p));
+  const std::vector<int64_t> counts = bucket_counts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target sample, 1-based; p=0 maps to rank 1 so the result
+  // stays inside the populated range.
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(total));
+  if (static_cast<double>(rank) < p / 100.0 * static_cast<double>(total)) {
+    ++rank;  // ceil
+  }
+  rank = std::min(total, std::max<int64_t>(1, rank));
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] >= rank) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(counts[i]);
+      return lower + (upper - lower) * frac;
+    }
+    cum += counts[i];
+  }
+  return bounds_.back();  // unreachable unless racing with Observe
+}
+
 std::vector<int64_t> Histogram::bucket_counts() const {
   std::vector<int64_t> out;
   out.reserve(buckets_.size());

@@ -56,6 +56,16 @@ class Histogram {
 
   void Observe(double v);
 
+  /// Bucket-interpolated percentile estimate, `p` in [0, 100]. Contract:
+  /// an empty histogram returns 0.0; with samples, the result lies within
+  /// the bucket containing the rank-⌈p/100·count⌉ sample (linear
+  /// interpolation by rank inside the bucket, bucket lower edge 0.0 for the
+  /// first bucket) and is monotone in `p`. Samples in the overflow bucket
+  /// are credited the last finite bound — percentiles are estimates, not
+  /// exact order statistics. Lock-free; concurrent Observe calls may be
+  /// partially visible.
+  double Percentile(double p) const;
+
   const std::vector<double>& bounds() const { return bounds_; }
   std::vector<int64_t> bucket_counts() const;
   int64_t count() const { return count_.load(std::memory_order_relaxed); }

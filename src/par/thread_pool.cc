@@ -7,6 +7,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prof/clock.h"
+#include "prof/pool_stats.h"
 #include "util/check.h"
 #include "util/env.h"
 
@@ -19,6 +21,11 @@ namespace {
 /// worker, or on the submitting thread while it participates. Nested For()
 /// calls check this and run inline.
 thread_local bool t_in_parallel_region = false;
+
+/// Profiler lane id of the current thread: 0 for any non-pool thread
+/// (submitters participate as lane 0), i+1 for pool worker i. Only read
+/// when pool profiling is on.
+thread_local int t_lane = 0;
 
 /// EMBSR_THREADS semantics: unset/0 -> hardware concurrency, 1 -> strict
 /// serial, N -> N lanes. Clamped to [1, 256] (a runaway value would only
@@ -42,6 +49,33 @@ obs::Counter* ChunkCounter() {
   return counter;
 }
 
+obs::Histogram* ChunkMsHist() {
+  static obs::Histogram* h = obs::Registry::Global().GetHistogram(
+      "par/chunk_ms", obs::DefaultLatencyBucketsMs());
+  return h;
+}
+
+/// Bounds in percent of the perfectly-balanced per-lane chunk share; 100
+/// means every lane ran exactly num_chunks/lanes chunks.
+obs::Histogram* ImbalanceHist() {
+  static obs::Histogram* h = obs::Registry::Global().GetHistogram(
+      "par/chunk_imbalance_pct",
+      {100.0, 110.0, 125.0, 150.0, 200.0, 300.0, 500.0, 1000.0});
+  return h;
+}
+
+/// Profiled execution of one inline slice/chunk: times it, credits the
+/// current lane, and feeds the chunk-latency histogram. Only reached when
+/// prof::PoolProfilingEnabled().
+template <typename Body>
+void RunChunkProfiled(const Body& body) {
+  const int64_t t0 = prof::NowNs();
+  body();
+  const int64_t dur = prof::NowNs() - t0;
+  prof::AddLaneBusy(t_lane, dur, 1);
+  ChunkMsHist()->Observe(static_cast<double>(dur) * 1e-6);
+}
+
 }  // namespace
 
 /// One fork-join task set: a chunk function plus the claim/completion
@@ -55,6 +89,9 @@ struct ThreadPool::TaskSet {
   std::atomic<bool> failed{false};
   std::mutex error_mu;
   std::exception_ptr error;  // first failure wins
+  /// Per-lane executed-chunk counts, allocated (threads_ slots) only while
+  /// pool profiling is on; feeds the chunk-imbalance histogram.
+  std::unique_ptr<std::atomic<int64_t>[]> prof_lane_chunks;
 };
 
 ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
@@ -63,8 +100,9 @@ ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
     // The pool is the one sanctioned owner of raw threads in this tree —
     // everything else goes through par::For so thread count, nesting and
     // determinism stay centrally controlled.
-    workers_.emplace_back(
-        [this] { WorkerLoop(); });  // lint: allow(raw-thread): the pool itself
+    workers_.emplace_back([this, i] {
+      WorkerLoop(i + 1);
+    });  // lint: allow(raw-thread): the pool itself
   }
 }
 
@@ -79,8 +117,9 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int lane) {
   t_in_parallel_region = true;  // workers only ever run task chunks
+  t_lane = lane;
   std::shared_ptr<TaskSet> last_seen;
   for (;;) {
     std::shared_ptr<TaskSet> task;
@@ -105,12 +144,21 @@ void ThreadPool::RunChunks(TaskSet* task) {
     // completion condition.)
     if (!task->failed.load(std::memory_order_acquire)) {
       EMBSR_TRACE_SPAN("par/chunk");
-      try {
-        (*task->fn)(chunk);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(task->error_mu);
-        if (!task->error) task->error = std::current_exception();
-        task->failed.store(true, std::memory_order_release);
+      auto body = [&] {
+        try {
+          (*task->fn)(chunk);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(task->error_mu);
+          if (!task->error) task->error = std::current_exception();
+          task->failed.store(true, std::memory_order_release);
+        }
+      };
+      if (task->prof_lane_chunks) {
+        RunChunkProfiled(body);
+        task->prof_lane_chunks[t_lane].fetch_add(1,
+                                                 std::memory_order_relaxed);
+      } else {
+        body();
       }
     }
     if (task->finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
@@ -132,7 +180,13 @@ void ThreadPool::Run(int64_t num_chunks,
   // Inline paths: serial pool, nested submission from inside a parallel
   // region, or a single chunk. Exceptions propagate naturally.
   if (threads_ <= 1 || t_in_parallel_region || num_chunks == 1) {
-    for (int64_t c = 0; c < num_chunks; ++c) fn(c);
+    if (prof::PoolProfilingEnabled()) {
+      for (int64_t c = 0; c < num_chunks; ++c) {
+        RunChunkProfiled([&] { fn(c); });
+      }
+    } else {
+      for (int64_t c = 0; c < num_chunks; ++c) fn(c);
+    }
     return;
   }
 
@@ -144,6 +198,11 @@ void ThreadPool::Run(int64_t num_chunks,
   auto task = std::make_shared<TaskSet>();
   task->fn = &fn;
   task->num_chunks = num_chunks;
+  if (prof::PoolProfilingEnabled()) {
+    // Value-initialized -> all counts start at 0.
+    task->prof_lane_chunks =
+        std::make_unique<std::atomic<int64_t>[]>(threads_);
+  }
   ChunkCounter()->Add(num_chunks);
   QueueDepthGauge()->Set(static_cast<double>(num_chunks));
   {
@@ -167,6 +226,21 @@ void ThreadPool::Run(int64_t num_chunks,
     task_.reset();
   }
   QueueDepthGauge()->Set(0.0);
+
+  if (task->prof_lane_chunks) {
+    int64_t max_chunks = 0;
+    for (int i = 0; i < threads_; ++i) {
+      max_chunks = std::max(
+          max_chunks,
+          task->prof_lane_chunks[i].load(std::memory_order_relaxed));
+    }
+    const double fair_share =
+        static_cast<double>(num_chunks) / static_cast<double>(threads_);
+    if (fair_share > 0.0) {
+      ImbalanceHist()->Observe(100.0 * static_cast<double>(max_chunks) /
+                               fair_share);
+    }
+  }
 
   if (task->error) std::rethrow_exception(task->error);
 }
@@ -220,12 +294,20 @@ void For(int64_t begin, int64_t end, int64_t grain,
   // Fast path: nothing to distribute, or we're already inside a parallel
   // region. Avoids even the Global() lookup for small serial work.
   if (num_chunks == 1 || ThreadPool::InParallelRegion()) {
-    fn(begin, end);
+    if (prof::PoolProfilingEnabled()) {
+      RunChunkProfiled([&] { fn(begin, end); });
+    } else {
+      fn(begin, end);
+    }
     return;
   }
   ThreadPool& pool = ThreadPool::Global();
   if (pool.threads() <= 1) {
-    fn(begin, end);
+    if (prof::PoolProfilingEnabled()) {
+      RunChunkProfiled([&] { fn(begin, end); });
+    } else {
+      fn(begin, end);
+    }
     return;
   }
   pool.Run(num_chunks, [&](int64_t chunk) {

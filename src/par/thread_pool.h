@@ -72,7 +72,7 @@ class ThreadPool {
  private:
   struct TaskSet;
 
-  void WorkerLoop();
+  void WorkerLoop(int lane);
   void RunChunks(TaskSet* task);
 
   const int threads_;

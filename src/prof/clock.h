@@ -1,0 +1,23 @@
+#ifndef EMBSR_PROF_CLOCK_H_
+#define EMBSR_PROF_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace embsr {
+namespace prof {
+
+/// Monotonic nanosecond clock for all profiler timestamps. The prof layer
+/// (with obs and util) is one of the three places allowed to read
+/// std::chrono directly — everything else must measure through the
+/// instrumented paths (lint rule `raw-chrono`), so profiles stay complete.
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace prof
+}  // namespace embsr
+
+#endif  // EMBSR_PROF_CLOCK_H_

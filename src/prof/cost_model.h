@@ -1,0 +1,50 @@
+#ifndef EMBSR_PROF_COST_MODEL_H_
+#define EMBSR_PROF_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace embsr {
+namespace prof {
+
+/// Analytic cost of one forward evaluation of an autograd op. The contract
+/// (DESIGN.md §13): flops counts arithmetic operations (a fused
+/// multiply-add is 2), bytes assume every operand is streamed from / to
+/// memory exactly once at 4 bytes per float — a *traffic lower bound*, not
+/// a cache model. Transcendentals (exp, tanh, ...) are charged a flat
+/// 4 flops per element.
+struct OpCost {
+  double flops = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+};
+
+/// Shapes visible at node-record time. prof sits *below* tensor in the
+/// layer DAG, so cost functions receive plain dimension vectors, never
+/// Tensor objects.
+struct ShapeInfo {
+  std::vector<std::vector<int64_t>> inputs;
+  std::vector<int64_t> output;
+};
+
+/// Number of elements in a shape ([] is a scalar: 1 element).
+int64_t NumElems(const std::vector<int64_t>& shape);
+
+using CostFn = OpCost (*)(const ShapeInfo&);
+
+/// Registers (or overwrites) the cost model for `op`. Op names are the
+/// string literals passed to ag::MakeOp. Thread-safe.
+void RegisterOpCost(const std::string& op, CostFn fn);
+
+/// Returns the registered cost model, or nullptr. Thread-safe.
+CostFn FindOpCost(const char* op);
+
+/// Sorted names of every registered cost model (coverage scans compare
+/// this against the ops.h declaration list).
+std::vector<std::string> RegisteredOpCostNames();
+
+}  // namespace prof
+}  // namespace embsr
+
+#endif  // EMBSR_PROF_COST_MODEL_H_

@@ -1,0 +1,115 @@
+#include "prof/mem_tracker.h"
+
+#include <mutex>
+
+#include "prof/clock.h"
+
+namespace embsr {
+namespace prof {
+
+namespace {
+
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+std::atomic<int64_t> g_alloc_count{0};
+std::atomic<int64_t> g_free_count{0};
+std::atomic<int64_t> g_alloc_bytes_total{0};
+
+thread_local int64_t t_pending_alloc_bytes = 0;
+
+std::mutex g_timeline_mu;
+bool g_timeline_on = false;
+int64_t g_timeline_cap = 65536;
+std::vector<MemEvent>* g_timeline = nullptr;  // leaked, exit-safe
+std::atomic<int64_t> g_timeline_dropped{0};
+
+void RecordEvent(int64_t delta, int64_t live) {
+  std::lock_guard<std::mutex> lock(g_timeline_mu);
+  if (!g_timeline_on) return;
+  if (g_timeline == nullptr) {
+    g_timeline =
+        new std::vector<MemEvent>();  // lint: allow(raw-new): leaked, exit-safe
+  }
+  if (static_cast<int64_t>(g_timeline->size()) >= g_timeline_cap) {
+    g_timeline_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  g_timeline->push_back(MemEvent{NowNs(), delta, live});
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_mem_enabled{false};
+
+void OnAllocSlow(int64_t bytes) {
+  int64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // CAS-max: racing allocators may each think they set the peak, but the
+  // final value is the true maximum of all observed watermarks.
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes_total.fetch_add(bytes, std::memory_order_relaxed);
+  t_pending_alloc_bytes += bytes;
+  RecordEvent(bytes, live);
+}
+
+void OnFreeSlow(int64_t bytes) {
+  int64_t live =
+      g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  g_free_count.fetch_add(1, std::memory_order_relaxed);
+  RecordEvent(-bytes, live);
+}
+
+int64_t TakePendingAllocBytes() {
+  int64_t v = t_pending_alloc_bytes;
+  t_pending_alloc_bytes = 0;
+  return v;
+}
+
+void ResetMemStats() {
+  // live bytes carry across sessions (tensors outlive Start); the peak
+  // collapses to the current watermark so each session reports its own max.
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_free_count.store(0, std::memory_order_relaxed);
+  g_alloc_bytes_total.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_timeline_mu);
+  if (g_timeline != nullptr) g_timeline->clear();
+  g_timeline_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+MemStats MemSnapshot() {
+  MemStats s;
+  s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  s.peak_bytes = g_peak_bytes.load(std::memory_order_relaxed);
+  s.alloc_count = g_alloc_count.load(std::memory_order_relaxed);
+  s.free_count = g_free_count.load(std::memory_order_relaxed);
+  s.alloc_bytes_total = g_alloc_bytes_total.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SetTimelineCapture(bool enabled, int64_t cap) {
+  std::lock_guard<std::mutex> lock(g_timeline_mu);
+  g_timeline_on = enabled;
+  if (cap > 0) g_timeline_cap = cap;
+}
+
+std::vector<MemEvent> TimelineSnapshot() {
+  std::lock_guard<std::mutex> lock(g_timeline_mu);
+  return g_timeline == nullptr ? std::vector<MemEvent>() : *g_timeline;
+}
+
+int64_t TimelineDropped() {
+  return g_timeline_dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace prof
+}  // namespace embsr

@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "prof/op_profiler.h"
+
+namespace embsr {
+namespace prof {
+
+namespace {
+
+constexpr double kNsToMs = 1e-6;
+
+void WriteAgg(obs::JsonWriter& w, const char* name_key, const OpAgg& a) {
+  w.BeginObject();
+  w.Key(name_key).String(a.name);
+  w.Key("calls").Int(a.calls);
+  w.Key("forward_ms").Number(static_cast<double>(a.forward_ns) * kNsToMs);
+  w.Key("backward_calls").Int(a.backward_calls);
+  w.Key("backward_ms").Number(static_cast<double>(a.backward_ns) * kNsToMs);
+  w.Key("flops").Number(a.flops);
+  w.Key("bytes_read").Number(a.bytes_read);
+  w.Key("bytes_written").Number(a.bytes_written);
+  w.Key("alloc_bytes").Int(a.alloc_bytes);
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ProfileJson(int top_n) {
+  const ProfileSnapshot snap = Snapshot();
+
+  int64_t attributed_fwd_ns = 0;
+  int64_t attributed_bwd_ns = 0;
+  double flops_total = 0.0;
+  double bytes_total = 0.0;
+  for (const OpAgg& a : snap.ops) {
+    attributed_fwd_ns += a.forward_ns;
+    attributed_bwd_ns += a.backward_ns;
+    flops_total += a.flops;
+    bytes_total += a.bytes_read + a.bytes_written;
+  }
+  const double attributed_s =
+      static_cast<double>(attributed_fwd_ns + attributed_bwd_ns) * 1e-9;
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("enabled").Bool(snap.enabled || snap.steps > 0 ||
+                        !snap.ops.empty());
+  w.Key("profiled_seconds").Number(snap.profiled_seconds);
+  w.Key("steps").Int(snap.steps);
+  w.Key("step_ms").Number(static_cast<double>(snap.step_ns) * kNsToMs);
+  w.Key("attributed_forward_ms")
+      .Number(static_cast<double>(attributed_fwd_ns) * kNsToMs);
+  w.Key("attributed_backward_ms")
+      .Number(static_cast<double>(attributed_bwd_ns) * kNsToMs);
+
+  w.Key("top_ops").BeginArray();
+  const size_t n_ops =
+      std::min(snap.ops.size(), static_cast<size_t>(std::max(top_n, 0)));
+  for (size_t i = 0; i < n_ops; ++i) WriteAgg(w, "op", snap.ops[i]);
+  w.EndArray();
+
+  w.Key("components").BeginArray();
+  for (const OpAgg& a : snap.components) WriteAgg(w, "component", a);
+  w.EndArray();
+
+  w.Key("memory").BeginObject();
+  w.Key("live_bytes").Int(snap.mem.live_bytes);
+  w.Key("peak_bytes").Int(snap.mem.peak_bytes);
+  w.Key("alloc_count").Int(snap.mem.alloc_count);
+  w.Key("free_count").Int(snap.mem.free_count);
+  w.Key("alloc_bytes_total").Int(snap.mem.alloc_bytes_total);
+  w.Key("timeline_events").Int(snap.timeline_events);
+  w.Key("timeline_dropped").Int(snap.timeline_dropped);
+  w.EndObject();
+
+  // Lane utilization: busy vs the profiled wall span. On a single-core
+  // host only lane 0 (the submitter) appears.
+  const double span_ms = snap.profiled_seconds * 1e3;
+  w.Key("lanes").BeginArray();
+  for (size_t i = 0; i < snap.lanes.size(); ++i) {
+    const double busy_ms =
+        static_cast<double>(snap.lanes[i].busy_ns) * kNsToMs;
+    w.BeginObject();
+    w.Key("lane").Int(static_cast<int64_t>(i));
+    w.Key("busy_ms").Number(busy_ms);
+    w.Key("idle_ms").Number(std::max(0.0, span_ms - busy_ms));
+    w.Key("chunks").Int(snap.lanes[i].chunks);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Chunk latency / imbalance percentiles from the obs histograms the pool
+  // feeds while profiling (zeros when the pool never ran).
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Histogram* chunk_ms =
+      reg.GetHistogram("par/chunk_ms", obs::DefaultLatencyBucketsMs());
+  obs::Histogram* imbalance = reg.GetHistogram(
+      "par/chunk_imbalance_pct",
+      {100.0, 110.0, 125.0, 150.0, 200.0, 300.0, 500.0, 1000.0});
+  w.Key("pool").BeginObject();
+  w.Key("chunk_ms_p50").Number(chunk_ms->Percentile(50.0));
+  w.Key("chunk_ms_p99").Number(chunk_ms->Percentile(99.0));
+  w.Key("chunk_imbalance_pct_p50").Number(imbalance->Percentile(50.0));
+  w.Key("chunk_imbalance_pct_p99").Number(imbalance->Percentile(99.0));
+  w.EndObject();
+
+  // Naive roofline inputs: totals from the analytic cost models over the
+  // *attributed* time. A traffic lower bound, not a cache simulation.
+  w.Key("roofline").BeginObject();
+  w.Key("flops_total").Number(flops_total);
+  w.Key("bytes_total").Number(bytes_total);
+  w.Key("intensity_flops_per_byte")
+      .Number(bytes_total > 0.0 ? flops_total / bytes_total : 0.0);
+  w.Key("achieved_gflops")
+      .Number(attributed_s > 0.0 ? flops_total / attributed_s * 1e-9 : 0.0);
+  w.Key("achieved_gbytes_per_sec")
+      .Number(attributed_s > 0.0 ? bytes_total / attributed_s * 1e-9 : 0.0);
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace prof
+}  // namespace embsr

@@ -25,17 +25,24 @@ int64_t ShapeSize(const std::vector<int64_t>& shape) {
 
 }  // namespace
 
-Tensor::Tensor() : shape_{}, data_(1, 0.0f) {}
+Tensor::Tensor() : shape_{}, data_(1, 0.0f) {
+  prof_counted_ = prof::OnTensorAlloc(size());
+}
 
 Tensor::Tensor(std::vector<int64_t> shape)
-    : shape_(std::move(shape)), data_(ShapeSize(shape_), 0.0f) {}
+    : shape_(std::move(shape)), data_(ShapeSize(shape_), 0.0f) {
+  prof_counted_ = prof::OnTensorAlloc(size());
+}
 
 Tensor::Tensor(std::vector<int64_t> shape, float fill)
-    : shape_(std::move(shape)), data_(ShapeSize(shape_), fill) {}
+    : shape_(std::move(shape)), data_(ShapeSize(shape_), fill) {
+  prof_counted_ = prof::OnTensorAlloc(size());
+}
 
 Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   EMBSR_CHECK_EQ(ShapeSize(shape_), static_cast<int64_t>(data_.size()));
+  prof_counted_ = prof::OnTensorAlloc(size());
 }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) {
@@ -153,10 +160,11 @@ std::string Tensor::ToString(int64_t max_elems) const {
 
 Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
   EMBSR_CHECK_EQ(ShapeSize(new_shape), size());
-  Tensor t;
-  t.shape_ = std::move(new_shape);
-  t.data_ = data_;
-  return t;
+  // Built via the (shape, data) constructor — not by assigning the private
+  // members of a default Tensor — so the memory profiler counts the buffer
+  // at its real size (the flag set by Tensor() would otherwise cover a
+  // 1-element buffer that the destructor frees at full size).
+  return Tensor(std::move(new_shape), data_);
 }
 
 Tensor Tensor::Transposed() const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "prof/mem_tracker.h"
 #include "util/rng.h"
 
 namespace embsr {
@@ -44,6 +45,53 @@ class Tensor {
   /// I.i.d. Uniform(lo, hi) entries.
   static Tensor RandUniform(std::vector<int64_t> shape, float lo, float hi,
                             Rng* rng);
+
+  // -- Special members --------------------------------------------------------
+  // Spelled out (rule of five) so the memory profiler sees every buffer
+  // acquisition and release; when profiling is off each alloc hook is one
+  // relaxed atomic load + branch and each free is a plain branch on the
+  // counted flag (DESIGN.md §13). The flag travels with the buffer: moves
+  // transfer it (and explicitly empty the source) so the byte accounting
+  // matches ownership exactly, and a tensor allocated before prof::Start()
+  // is never subtracted from a session it was never added to.
+
+  ~Tensor() { prof::OnTensorFree(size(), prof_counted_); }
+
+  Tensor(const Tensor& other) : shape_(other.shape_), data_(other.data_) {
+    prof_counted_ = prof::OnTensorAlloc(size());
+  }
+
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      prof::OnTensorFree(size(), prof_counted_);
+      shape_ = other.shape_;
+      data_ = other.data_;
+      prof_counted_ = prof::OnTensorAlloc(size());
+    }
+    return *this;
+  }
+
+  Tensor(Tensor&& other) noexcept
+      : shape_(std::move(other.shape_)),
+        data_(std::move(other.data_)),
+        prof_counted_(other.prof_counted_) {
+    other.shape_.clear();
+    other.data_.clear();
+    other.prof_counted_ = false;
+  }
+
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      prof::OnTensorFree(size(), prof_counted_);
+      shape_ = std::move(other.shape_);
+      data_ = std::move(other.data_);
+      prof_counted_ = other.prof_counted_;
+        other.shape_.clear();
+      other.data_.clear();
+      other.prof_counted_ = false;
+    }
+    return *this;
+  }
 
   // -- Introspection ----------------------------------------------------------
 
@@ -95,6 +143,9 @@ class Tensor {
  private:
   std::vector<int64_t> shape_;
   std::vector<float> data_;
+  // Whether the memory profiler counted this buffer at allocation; handed
+  // back to prof::OnTensorFree so only counted buffers are subtracted.
+  bool prof_counted_ = false;
 };
 
 // -- Out-of-place kernels -------------------------------------------------------

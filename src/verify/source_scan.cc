@@ -77,6 +77,13 @@ std::vector<std::string> CoveredModelAuditNames(
   return MatchAll(model_audits_cc, kAuditMarker);
 }
 
+std::vector<std::string> CoveredOpCostNames(const std::string& op_costs_cc) {
+  // The quoted-string argument distinguishes marker uses from the macro's
+  // own #define line (whose argument is the bare token `name`).
+  static const std::regex kCostMarker(R"rx(EMBSR_OP_COST\("([^"]+)"\))rx");
+  return MatchAll(op_costs_cc, kCostMarker);
+}
+
 Result<std::vector<std::string>> ScanOpNames(const std::string& repo_root) {
   return ScanFile(repo_root + "/src/autograd/ops.h", &DeclaredOpNames);
 }
@@ -105,6 +112,12 @@ Result<std::vector<std::string>> ScanModelAuditCoverage(
     const std::string& repo_root) {
   return ScanFile(repo_root + "/src/analyze/model_audits.cc",
                   &CoveredModelAuditNames);
+}
+
+Result<std::vector<std::string>> ScanOpCostCoverage(
+    const std::string& repo_root) {
+  return ScanFile(repo_root + "/src/autograd/op_costs.cc",
+                  &CoveredOpCostNames);
 }
 
 }  // namespace verify

@@ -47,6 +47,11 @@ std::vector<std::string> CoveredKernelEquivNames(
 std::vector<std::string> CoveredModelAuditNames(
     const std::string& model_audits_cc);
 
+/// Op names carrying a registered prof cost model in
+/// src/autograd/op_costs.cc, i.e. every `EMBSR_OP_COST("Name")` coverage
+/// marker. Sorted, unique.
+std::vector<std::string> CoveredOpCostNames(const std::string& op_costs_cc);
+
 /// Convenience: reads and scans the named files under `repo_root`
 /// (src/autograd/ops.h, src/nn/layers.h, src/train/model_zoo.cc,
 /// src/tensor/tensor.h, tests/kernel_equiv_test.cc,
@@ -59,6 +64,8 @@ Result<std::vector<std::string>> ScanTensorKernelNames(
 Result<std::vector<std::string>> ScanKernelEquivCoverage(
     const std::string& repo_root);
 Result<std::vector<std::string>> ScanModelAuditCoverage(
+    const std::string& repo_root);
+Result<std::vector<std::string>> ScanOpCostCoverage(
     const std::string& repo_root);
 
 }  // namespace verify

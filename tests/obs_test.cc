@@ -121,6 +121,60 @@ TEST(MetricsTest, HistogramBucketBoundaries) {
   EXPECT_DOUBLE_EQ(h.sum(), 23.5);
 }
 
+TEST(MetricsTest, PercentileOfEmptyHistogramIsZero) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 0.0);
+}
+
+TEST(MetricsTest, PercentileWithSingleSampleStaysInItsBucket) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(5.0);  // bucket (1, 10]
+  // Every percentile resolves to the one sample's bucket: rank is clamped
+  // to 1, so the estimate is the bucket's upper bound at full fraction.
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GT(v, 1.0) << "p=" << p;
+    EXPECT_LE(v, 10.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), h.Percentile(100.0));
+}
+
+TEST(MetricsTest, PercentileWithAllEqualSamplesIsConstantAcrossP) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 50; ++i) h.Observe(10.0);  // all land in (1, 10]
+  // All samples share one bucket, so p only moves the within-bucket
+  // interpolation fraction; the estimate must never leave the bucket.
+  double prev = h.Percentile(0.0);
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GT(v, 1.0) << "p=" << p;
+    EXPECT_LE(v, 10.0) << "p=" << p;
+    EXPECT_GE(v, prev) << "percentile not monotone at p=" << p;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 10.0);
+}
+
+TEST(MetricsTest, PercentileIsMonotoneAndCreditsOverflowTheLastBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(1000.0);  // overflow bucket
+  double prev = h.Percentile(0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "percentile not monotone at p=" << p;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 100.0);  // overflow -> last bound
+  // Out-of-range p clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(h.Percentile(-5.0), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(200.0), h.Percentile(100.0));
+}
+
 TEST(MetricsTest, GaugeLastWriteWins) {
   Gauge* g = Registry::Global().GetGauge("test/gauge");
   g->Set(1.5);

@@ -1,0 +1,294 @@
+// embsr::prof — per-op attribution, cost models, memory tracker, lane stats.
+//
+// The two contract-critical suites:
+//  - CostModelCoverage diffs three name lists in both directions (ops
+//    declared in autograd/ops.h, EMBSR_OP_COST markers scanned from
+//    op_costs.cc, cost functions actually registered at runtime) so an op
+//    added without a cost model — or a stale model for a removed op —
+//    fails ctest, mirroring the gradcheck coverage contract.
+//  - ProfAttribution pins the gap-based accounting: with profiling on,
+//    per-op forward+backward time summed over the snapshot must land
+//    within 10% of the enclosing StepScope spans (ISSUE acceptance
+//    criterion).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "autograd/op_costs.h"
+#include "autograd/ops.h"
+#include "gtest/gtest.h"
+#include "prof/op_profiler.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "verify/source_scan.h"
+
+namespace embsr {
+namespace {
+
+using ag::Variable;
+
+// Names in `a` that are missing from sorted `b`, for failure messages.
+std::string Missing(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  std::string out;
+  for (const std::string& name : a) {
+    if (!std::binary_search(b.begin(), b.end(), name)) {
+      if (!out.empty()) out += ", ";
+      out += name;
+    }
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+prof::OpCost CostFor(const char* op, prof::ShapeInfo info) {
+  ag::RegisterOpCostModels();
+  prof::CostFn fn = prof::FindOpCost(op);
+  EXPECT_NE(fn, nullptr) << "no cost model registered for " << op;
+  return fn == nullptr ? prof::OpCost{} : fn(info);
+}
+
+TEST(CostModelPins, MatMulAgainstHandComputedValues) {
+  // [3,4] x [4,5] -> [3,5]: 2*n*k*m = 2*3*4*5 = 120 flops;
+  // reads (12+20) floats = 128 bytes; writes 15 floats = 60 bytes.
+  prof::ShapeInfo s;
+  s.inputs = {{3, 4}, {4, 5}};
+  s.output = {3, 5};
+  const prof::OpCost c = CostFor("MatMul", s);
+  EXPECT_DOUBLE_EQ(c.flops, 120.0);
+  EXPECT_DOUBLE_EQ(c.bytes_read, 128.0);
+  EXPECT_DOUBLE_EQ(c.bytes_written, 60.0);
+}
+
+TEST(CostModelPins, GatherRowsAgainstHandComputedValues) {
+  // Embedding gather of 3 rows of width 4: touches only the gathered rows
+  // (12 floats = 48 bytes read), writes the same 48 bytes, zero flops —
+  // the table size must NOT appear in the cost.
+  prof::ShapeInfo s;
+  s.inputs = {{1000, 4}};
+  s.output = {3, 4};
+  const prof::OpCost c = CostFor("GatherRows", s);
+  EXPECT_DOUBLE_EQ(c.flops, 0.0);
+  EXPECT_DOUBLE_EQ(c.bytes_read, 48.0);
+  EXPECT_DOUBLE_EQ(c.bytes_written, 48.0);
+}
+
+TEST(CostModelPins, EveryRegisteredModelYieldsFiniteNonNegativeCosts) {
+  ag::RegisterOpCostModels();
+  prof::ShapeInfo s;
+  s.inputs = {{8, 16}, {16, 8}, {8, 16}};
+  s.output = {8, 16};
+  for (const std::string& name : prof::RegisteredOpCostNames()) {
+    prof::CostFn fn = prof::FindOpCost(name.c_str());
+    ASSERT_NE(fn, nullptr) << name;
+    const prof::OpCost c = fn(s);
+    EXPECT_GE(c.flops, 0.0) << name;
+    EXPECT_GE(c.bytes_read, 0.0) << name;
+    EXPECT_GE(c.bytes_written, 0.0) << name;
+  }
+}
+
+TEST(CostModelCoverage, DeclaredScannedAndRegisteredAgreeBothWays) {
+  ag::RegisterOpCostModels();
+
+  const auto declared = verify::ScanOpNames(EMBSR_REPO_ROOT);
+  ASSERT_TRUE(declared.ok()) << declared.status().ToString();
+  ASSERT_FALSE(declared.value().empty());
+
+  const auto scanned = verify::ScanOpCostCoverage(EMBSR_REPO_ROOT);
+  ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+
+  const std::vector<std::string> registered = prof::RegisteredOpCostNames();
+
+  EXPECT_EQ(declared.value(), scanned.value())
+      << "ops without an EMBSR_OP_COST entry in src/autograd/op_costs.cc: "
+      << Missing(declared.value(), scanned.value())
+      << "; stale EMBSR_OP_COST entries for undeclared ops: "
+      << Missing(scanned.value(), declared.value());
+
+  EXPECT_EQ(declared.value(), registered)
+      << "ops whose cost model never registers at runtime: "
+      << Missing(declared.value(), registered)
+      << "; runtime registrations with no declared op: "
+      << Missing(registered, declared.value());
+}
+
+TEST(ProfAttribution, PerOpTimesSumToStepSpanWithinTenPercent) {
+  Rng rng(17);
+  const Tensor ta = Tensor::Randn({128, 128}, 0.5f, &rng);
+  const Tensor tb = Tensor::Randn({128, 128}, 0.5f, &rng);
+  const Tensor tc = Tensor::Randn({128, 128}, 0.5f, &rng);
+
+  prof::Start();
+  const int kSteps = 5;
+  for (int i = 0; i < kSteps; ++i) {
+    prof::StepScope step;
+    Variable a(ta, true);
+    Variable b(tb, true);
+    Variable c(tc, true);
+    Variable y = ag::SumAll(ag::MatMul(ag::MatMul(a, b), c));
+    y.Backward();
+  }
+  prof::Stop();
+
+  const prof::ProfileSnapshot snap = prof::Snapshot();
+  EXPECT_EQ(snap.steps, kSteps);
+  ASSERT_GT(snap.step_ns, 0);
+  ASSERT_FALSE(snap.ops.empty());
+
+  int64_t attributed = 0;
+  bool saw_matmul = false;
+  for (const prof::OpAgg& op : snap.ops) {
+    attributed += op.forward_ns + op.backward_ns;
+    if (op.name == "MatMul") {
+      saw_matmul = true;
+      EXPECT_EQ(op.calls, 2 * kSteps);
+      EXPECT_EQ(op.backward_calls, 2 * kSteps);
+      // 2 * 128^3 flops per call, both calls square.
+      EXPECT_DOUBLE_EQ(op.flops, 2.0 * 128 * 128 * 128 * 2 * kSteps);
+    }
+  }
+  EXPECT_TRUE(saw_matmul);
+
+  // Gap-based forward charging + directly-timed backward means the per-op
+  // sum can never exceed the step spans, and with 128^3 MatMuls dominating
+  // the work it must reach at least 90% of them.
+  const double ratio =
+      static_cast<double>(attributed) / static_cast<double>(snap.step_ns);
+  EXPECT_LE(ratio, 1.05) << "attributed " << attributed << "ns vs step "
+                         << snap.step_ns << "ns";
+  EXPECT_GE(ratio, 0.90) << "attributed " << attributed << "ns vs step "
+                         << snap.step_ns << "ns";
+}
+
+TEST(ProfAttribution, ComponentScopeLabelsOps) {
+  Rng rng(3);
+  const Tensor t = Tensor::Randn({16, 16}, 0.5f, &rng);
+
+  prof::Start();
+  {
+    prof::StepScope step;
+    prof::ComponentScope component("prof_test_component");
+    Variable a(t, true);
+    ag::SumAll(ag::MatMul(a, a)).Backward();
+  }
+  prof::Stop();
+
+  const prof::ProfileSnapshot snap = prof::Snapshot();
+  bool found = false;
+  for (const prof::OpAgg& c : snap.components) {
+    if (c.name == "prof_test_component") {
+      found = true;
+      EXPECT_GT(c.calls, 0);
+      EXPECT_GT(c.backward_calls, 0);
+    }
+  }
+  EXPECT_TRUE(found) << "component rollup missing the scoped label";
+}
+
+TEST(ProfAttribution, DisabledProfilerRecordsNothing) {
+  ASSERT_FALSE(prof::Enabled());
+  {
+    prof::StepScope step;  // must be inert when off
+    Variable a(Tensor::Scalar(2.0f), true);
+    ag::Mul(a, a).Backward();
+  }
+  // Start+Stop immediately: the session sees none of the work above.
+  prof::Start();
+  prof::Stop();
+  const prof::ProfileSnapshot snap = prof::Snapshot();
+  EXPECT_EQ(snap.steps, 0);
+  EXPECT_TRUE(snap.ops.empty());
+}
+
+TEST(MemTrackerTest, LivePeakAndCountsFollowTensorLifetimes) {
+  prof::Start();
+  const prof::MemStats base = prof::MemSnapshot();
+  {
+    Tensor t = Tensor::Zeros({10, 10});  // 400 bytes
+    const prof::MemStats mid = prof::MemSnapshot();
+    EXPECT_EQ(mid.live_bytes - base.live_bytes, 400);
+    EXPECT_GE(mid.peak_bytes, mid.live_bytes);
+    EXPECT_EQ(mid.alloc_count - base.alloc_count, 1);
+    EXPECT_EQ(mid.alloc_bytes_total - base.alloc_bytes_total, 400);
+  }
+  const prof::MemStats end = prof::MemSnapshot();
+  EXPECT_EQ(end.live_bytes, base.live_bytes);
+  EXPECT_EQ(end.free_count - base.free_count, 1);
+  EXPECT_GE(end.peak_bytes - base.live_bytes, 400);
+  prof::Stop();
+}
+
+TEST(MemTrackerTest, MoveTransfersOwnershipWithoutDoubleCounting) {
+  prof::Start();
+  const prof::MemStats base = prof::MemSnapshot();
+  {
+    Tensor t = Tensor::Zeros({8, 8});  // 256 bytes
+    Tensor u = std::move(t);
+    // Move transfers the buffer: still one live allocation.
+    const prof::MemStats mid = prof::MemSnapshot();
+    EXPECT_EQ(mid.live_bytes - base.live_bytes, 256);
+    EXPECT_EQ(mid.alloc_count - base.alloc_count, 1);
+  }
+  const prof::MemStats end = prof::MemSnapshot();
+  EXPECT_EQ(end.live_bytes, base.live_bytes);
+  EXPECT_EQ(end.free_count - base.free_count, 1);
+  prof::Stop();
+}
+
+TEST(MemTrackerTest, TimelineCapturesEventsAndCountsDrops) {
+  prof::SetTimelineCapture(true, 4);
+  prof::Start();  // clears the timeline
+  {
+    std::vector<Tensor> keep;
+    for (int i = 0; i < 6; ++i) keep.push_back(Tensor::Zeros({4, 4}));
+  }
+  prof::Stop();
+  const std::vector<prof::MemEvent> events = prof::TimelineSnapshot();
+  EXPECT_EQ(events.size(), 4u);
+  EXPECT_GT(prof::TimelineDropped(), 0);
+  for (const prof::MemEvent& e : events) {
+    EXPECT_GT(e.ts_ns, 0);
+    EXPECT_EQ(e.delta_bytes, 64);  // 4x4 floats, all allocs fit in the cap
+    EXPECT_GE(e.live_bytes, e.delta_bytes);
+  }
+  prof::SetTimelineCapture(false, 65536);  // restore the default
+}
+
+TEST(ProfPoolStats, LaneAccountingRoundTrips) {
+  prof::Start();
+  prof::AddLaneBusy(0, 1000, 2);
+  prof::AddLaneBusy(2, 500, 1);
+  prof::AddLaneBusy(0, 200, 1);
+  const std::vector<prof::LaneStats> lanes = prof::LaneSnapshot();
+  ASSERT_EQ(lanes.size(), 3u);  // trimmed to the highest recorded lane
+  EXPECT_EQ(lanes[0].busy_ns, 1200);
+  EXPECT_EQ(lanes[0].chunks, 3);
+  EXPECT_EQ(lanes[1].busy_ns, 0);
+  EXPECT_EQ(lanes[2].busy_ns, 500);
+  EXPECT_EQ(lanes[2].chunks, 1);
+  prof::Stop();
+}
+
+TEST(ProfReport, JsonHasTheSchemaV3Keys) {
+  Rng rng(5);
+  const Tensor t = Tensor::Randn({32, 32}, 0.5f, &rng);
+  prof::Start();
+  {
+    prof::StepScope step;
+    Variable a(t, true);
+    ag::SumAll(ag::MatMul(a, a)).Backward();
+  }
+  prof::Stop();
+  const std::string json = prof::ProfileJson();
+  for (const char* key :
+       {"\"enabled\"", "\"steps\"", "\"step_ms\"", "\"top_ops\"",
+        "\"components\"", "\"memory\"", "\"peak_bytes\"", "\"lanes\"",
+        "\"pool\"", "\"roofline\"", "\"MatMul\""}) {
+    EXPECT_NE(json.find(key), std::string::npos)
+        << "profile JSON missing " << key << ": " << json;
+  }
+}
+
+}  // namespace
+}  // namespace embsr
