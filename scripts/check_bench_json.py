@@ -191,6 +191,58 @@ def _check_profile(errors, path, profile):
              "profile is enabled with steps recorded but top_ops is empty")
 
 
+# Scalars every serve-bench report must carry (bench names starting with
+# "serve"): the chaos driver's headline numbers. Rates are fractions in
+# [0, 1]; latency percentiles must be ordered; throughput non-negative.
+SERVE_REQUIRED_SCALARS = (
+    "latency_p50_ms",
+    "latency_p99_ms",
+    "qps",
+    "shed_rate",
+    "degraded_fraction",
+)
+
+
+def _check_serve_scalars(errors, path, doc):
+    """Serve sidecar rules.
+
+    The presence-based checks apply to *any* report that emits these keys,
+    so a non-serve bench reusing the names still gets range-checked; the
+    completeness check (all five keys) binds only benches named serve*.
+    """
+    scalars = doc.get("scalars")
+    if not isinstance(scalars, dict):
+        return
+    bench = doc.get("bench")
+    if isinstance(bench, str) and bench.startswith("serve"):
+        for key in SERVE_REQUIRED_SCALARS:
+            if key not in scalars:
+                _err(errors, path, f"serve bench missing scalar {key!r}")
+
+    def num(key):
+        v = scalars.get(key)
+        return v if isinstance(v, (int, float)) and not isinstance(v, bool) \
+            else None
+
+    for key in ("shed_rate", "degraded_fraction"):
+        v = num(key)
+        if v is not None and not 0.0 <= v <= 1.0:
+            _err(errors, path,
+                 f"scalars.{key} must be a fraction in [0, 1], got {v!r}")
+    qps = num("qps")
+    if qps is not None and qps < 0:
+        _err(errors, path, f"scalars.qps must be non-negative, got {qps!r}")
+    p50, p99 = num("latency_p50_ms"), num("latency_p99_ms")
+    for key, v in (("latency_p50_ms", p50), ("latency_p99_ms", p99)):
+        if v is not None and v < 0:
+            _err(errors, path,
+                 f"scalars.{key} must be non-negative, got {v!r}")
+    if p50 is not None and p99 is not None and p50 > p99:
+        _err(errors, path,
+             f"scalars.latency_p50_ms ({p50!r}) exceeds "
+             f"latency_p99_ms ({p99!r})")
+
+
 def check_report(path, errors):
     try:
         with open(path, encoding="utf-8") as f:
@@ -293,6 +345,7 @@ def check_report(path, errors):
                              "is not an integer")
 
     _check_number_map(errors, path, doc.get("scalars", {}), "scalars")
+    _check_serve_scalars(errors, path, doc)
 
     _check_profile(errors, path, doc.get("profile"))
 
@@ -558,6 +611,52 @@ def self_test():
     doc["profile"]["components"] = []
     doc["profile"]["lanes"] = []
     expect_clean(doc, "disabled profile with empty tables")
+
+    # Serve sidecar rules: a serve* bench must carry the headline scalars,
+    # rates must be fractions, and the latency percentiles must be ordered.
+    def _serve_report():
+        doc = _valid_report()
+        doc["bench"] = "serve_chaos"
+        doc["results"] = []
+        doc["scalars"] = {
+            "latency_p50_ms": 5.0,
+            "latency_p99_ms": 40.0,
+            "qps": 800.0,
+            "shed_rate": 0.1,
+            "degraded_fraction": 0.05,
+        }
+        return doc
+
+    expect_clean(_serve_report(), "valid serve report")
+    doc = _serve_report()
+    del doc["scalars"]["shed_rate"]
+    expect_rejected(doc, "serve report without shed_rate",
+                    "serve bench missing scalar 'shed_rate'")
+    doc = _serve_report()
+    doc["scalars"]["degraded_fraction"] = 1.5
+    expect_rejected(doc, "degraded_fraction out of range",
+                    "must be a fraction in [0, 1]")
+    doc = _serve_report()
+    doc["scalars"]["shed_rate"] = -0.1
+    expect_rejected(doc, "negative shed_rate",
+                    "must be a fraction in [0, 1]")
+    doc = _serve_report()
+    doc["scalars"]["qps"] = -1.0
+    expect_rejected(doc, "negative qps", "scalars.qps must be non-negative")
+    doc = _serve_report()
+    doc["scalars"]["latency_p50_ms"] = 50.0
+    doc["scalars"]["latency_p99_ms"] = 5.0
+    expect_rejected(doc, "inverted latency percentiles",
+                    "exceeds latency_p99_ms")
+    # A non-serve bench that happens to emit one of the keys still gets the
+    # range check, but not the completeness requirement.
+    doc = _valid_report()
+    doc["scalars"] = {"shed_rate": 2.0}
+    expect_rejected(doc, "non-serve bench with bad shed_rate",
+                    "must be a fraction in [0, 1]")
+    doc = _valid_report()
+    doc["scalars"] = {"qps": 100.0}
+    expect_clean(doc, "non-serve bench with only qps")
 
     # Duplicate detection: a (model, dataset) cell reported twice in one
     # file, and a JSON key written twice in one object.

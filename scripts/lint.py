@@ -64,6 +64,8 @@ LAYER_DEPS = {
                "util"},
     "models": {"nn", "optim", "data", "graph", "metrics", "robust",
                "failpoint", "autograd", "tensor", "obs", "prof", "util"},
+    "serve": {"models", "nn", "optim", "data", "graph", "metrics", "robust",
+              "failpoint", "autograd", "tensor", "obs", "prof", "util"},
     "core": {"models", "nn", "optim", "data", "graph", "metrics", "robust",
              "failpoint", "autograd", "tensor", "obs", "util"},
     "train": {"core", "datagen", "models", "nn", "optim", "data", "graph",

@@ -17,11 +17,13 @@
 # declarations, so it is deterministic at every thread count — the
 # EMBSR_THREADS=4 leg exercises the same contracts under a real pool.
 #
-# Each config runs three ctest legs: the full suite, the concurrency-
-# sensitive suites re-run under a forced EMBSR_THREADS=4 pool, and the
+# Each config runs four ctest legs: the full suite, the concurrency-
+# sensitive suites re-run under a forced EMBSR_THREADS=4 pool, the
 # prof/par/autograd suites re-run with EMBSR_PROF=1 EMBSR_THREADS=4 so the
 # embsr::prof attribution counters race under a real pool (and under TSan
-# in the `thread` config).
+# in the `thread` config), and the ServeChaos smoke suite re-run with
+# EMBSR_FAILPOINTS armed so the serving core's degraded/retry paths are
+# exercised under each sanitizer.
 #
 # Build dirs: build-<config> (override root with EMBSR_SAN_BUILD_DIR).
 # Logs: <build dir>/ctest-<config>.log.
@@ -119,6 +121,25 @@ for config in "${configs[@]}"; do
   else
     echo "=== [$config prof] FAIL"
     failed+=("$config-prof")
+  fi
+
+  # Fourth leg: chaos. The serve smoke suite (invariant-only assertions,
+  # merges rather than clears armed failpoints) runs with EMBSR_FAILPOINTS
+  # injecting scorer/store failures, forced sheds and a scorer stall — the
+  # sanitizers watch the serving core's degraded paths, which clean tests
+  # never reach. Only ServeChaos.* runs here: the exact-behavior serve
+  # tests arm their own failpoints and would be perturbed by the env spec.
+  chaos_log="$build_dir/ctest-$config-chaos.log"
+  chaos_spec='serve.score=0.3x200,serve.store_read=0.15x100,serve.queue_full=0.05x40'
+  echo "=== [$config] ctest EMBSR_FAILPOINTS=$chaos_spec (log: $chaos_log)"
+  if (cd "$build_dir" && EMBSR_FAILPOINTS="$chaos_spec" ctest \
+        --output-on-failure \
+        -R '^ServeChaos\.' \
+        2>&1 | tee "$chaos_log"); then
+    echo "=== [$config chaos] PASS"
+  else
+    echo "=== [$config chaos] FAIL"
+    failed+=("$config-chaos")
   fi
 done
 

@@ -23,6 +23,12 @@ With --graph-audit BIN (CMake passes the built graph_audit_test), also runs
 the autograd-graph auditor over the whole model zoo as a final stage, so
 the gate covers graph wiring as well as source hygiene.
 
+With --serve-bench BIN (CMake passes the built bench_serve_chaos), also
+runs the serving chaos driver at tiny scale under an EMBSR_FAILPOINTS spec
+(injected scorer/store failures and forced sheds on top of the bench's own
+fault phases) and validates the BENCH_serve_chaos.json sidecar it writes —
+the gate's proof that the serving core survives chaos end to end.
+
 Exits non-zero on the first failing stage. Stdlib only.
 """
 
@@ -32,12 +38,28 @@ import subprocess
 import sys
 
 
-def run(argv, what):
+def run(argv, what, extra_env=None):
     print(f"verify_gate: {what}: {' '.join(argv)}", flush=True)
-    proc = subprocess.run(argv)
+    env = None
+    if extra_env:
+        env = dict(os.environ)
+        env.update(extra_env)
+    proc = subprocess.run(argv, env=env)
     if proc.returncode != 0:
         print(f"verify_gate: FAILED at {what}")
         sys.exit(proc.returncode)
+
+
+# The chaos spec the serve-bench stage runs under: scorer failures at a
+# rate that trips the circuit breaker during bursts, transient store
+# failures that exercise the retry path, occasional forced sheds, and an
+# injected scorer stall — on top of the fault phases the bench itself
+# scripts. Bounded (xN) so the run terminates in a sane state.
+SERVE_CHAOS_ENV = {
+    "EMBSR_BENCH_SCALE": "0.05",
+    "EMBSR_FAILPOINTS": ("serve.score=0.2x100,serve.store_read=0.1x50,"
+                         "serve.queue_full=0.05x20"),
+}
 
 
 def main():
@@ -48,6 +70,11 @@ def main():
     parser.add_argument("--graph-audit", metavar="BIN", default=None,
                         help="path to the built graph_audit_test binary; "
                              "when given, run it as the final gate stage")
+    parser.add_argument("--serve-bench", metavar="BIN", default=None,
+                        help="path to the built bench_serve_chaos binary; "
+                             "when given, run it at tiny scale under an "
+                             "EMBSR_FAILPOINTS chaos spec and validate the "
+                             "BENCH_serve_chaos.json it emits")
     args = parser.parse_args()
     root = os.path.abspath(args.repo_root)
     scripts = os.path.join(root, "scripts")
@@ -80,6 +107,12 @@ def main():
 
     if args.graph_audit:
         run([args.graph_audit], "graph audit (model zoo)")
+
+    if args.serve_bench:
+        run([py, os.path.join(scripts, "check_bench_json.py"),
+             "--run", args.serve_bench],
+            "serve chaos bench (faults injected, JSON validated)",
+            extra_env=SERVE_CHAOS_ENV)
 
     print("verify_gate: OK")
     return 0

@@ -105,7 +105,14 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
   int start_epoch = 0;
   if (ckpt.enabled()) {
     nn::TrainState st;
-    const Status s = ckpt.LoadLatest(this, &st);
+    std::vector<std::string> skipped_corrupt;
+    const Status s = ckpt.LoadLatest(this, &st, &skipped_corrupt);
+    if (!skipped_corrupt.empty()) {
+      EMBSR_LOG(Warning) << name_ << "/" << data.name << ": resume skipped "
+                         << skipped_corrupt.size()
+                         << " corrupt checkpoint(s), newest: "
+                         << skipped_corrupt.front();
+    }
     if (s.ok()) {
       const Status imp = opt.ImportState(st.opt_scalars, st.opt_slots);
       if (imp.ok()) {

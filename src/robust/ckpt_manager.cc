@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "util/env.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace embsr {
 namespace robust {
@@ -99,8 +100,9 @@ Status CheckpointManager::Save(const nn::Module& module,
   return Status::OK();
 }
 
-Status CheckpointManager::LoadLatest(nn::Module* module,
-                                     nn::TrainState* state) const {
+Status CheckpointManager::LoadLatest(
+    nn::Module* module, nn::TrainState* state,
+    std::vector<std::string>* skipped_corrupt) const {
   static obs::Counter* corrupt =
       obs::Registry::Global().GetCounter("robust/ckpt_corrupt_skipped");
   if (!enabled()) {
@@ -114,19 +116,30 @@ Status CheckpointManager::LoadLatest(nn::Module* module,
   before.reserve(params.size());
   for (const auto& np : params) before.push_back(np.variable.value());
 
+  std::vector<std::string> skipped;
   std::vector<std::string> all = ListCheckpoints();
   for (auto it = all.rbegin(); it != all.rend(); ++it) {
     const Status s = nn::LoadCheckpoint(*it, module, state);
-    if (s.ok()) return Status::OK();
+    if (s.ok()) {
+      if (skipped_corrupt != nullptr) *skipped_corrupt = std::move(skipped);
+      return Status::OK();
+    }
     corrupt->Increment();
+    skipped.push_back(*it);
     EMBSR_LOG(Warning) << "skipping unloadable checkpoint '" << *it
                        << "': " << s.ToString();
   }
   for (size_t i = 0; i < params.size(); ++i) {
     params[i].variable.mutable_value() = before[i];
   }
-  return Status::NotFound("no loadable checkpoint for run '" + run_id_ +
-                          "' in '" + config_.dir + "'");
+  std::string msg = "no loadable checkpoint for run '" + run_id_ + "' in '" +
+                    config_.dir + "'";
+  if (!skipped.empty()) {
+    msg += "; skipped " + std::to_string(skipped.size()) +
+           " corrupt checkpoint(s): " + Join(skipped, ", ");
+  }
+  if (skipped_corrupt != nullptr) *skipped_corrupt = std::move(skipped);
+  return Status::NotFound(msg);
 }
 
 }  // namespace robust

@@ -50,9 +50,16 @@ class CheckpointManager {
                             const nn::TrainState& state);
 
   /// Restores the newest loadable checkpoint of this run into
-  /// (module, state). NotFound when none exists (a fresh run).
-  [[nodiscard]] Status LoadLatest(nn::Module* module,
-                                  nn::TrainState* state) const;
+  /// (module, state). NotFound when none exists (a fresh run); when
+  /// checkpoints existed but every one was corrupt, the NotFound message
+  /// lists the skipped paths so the operator sees *what* was lost, not just
+  /// that resume fell through. `skipped_corrupt`, when non-null, receives
+  /// the paths of corrupt checkpoints that were skipped on the way to a
+  /// successful (or failed) load, newest first; each skip also bumps the
+  /// `robust/ckpt_corrupt_skipped` counter.
+  [[nodiscard]] Status LoadLatest(
+      nn::Module* module, nn::TrainState* state,
+      std::vector<std::string>* skipped_corrupt = nullptr) const;
 
   /// This run's checkpoint paths, oldest first.
   std::vector<std::string> ListCheckpoints() const;

@@ -14,7 +14,7 @@ namespace {
 
 constexpr uint64_t kDefaultSeed = 0xFA11FA11FA11FA11ULL;
 
-/// Parses one `site=prob[xLIMIT][@SKIP]` clause into (site, spec).
+/// Parses one `site=prob[xLIMIT][@SKIP|@DELAYms]` clause into (site, spec).
 Status ParseClause(const std::string& clause, std::string* site,
                    FailpointSpec* spec) {
   const size_t eq = clause.find('=');
@@ -27,13 +27,27 @@ Status ParseClause(const std::string& clause, std::string* site,
 
   spec->remaining = -1;
   spec->skip = 0;
+  spec->delay_ms = 0;
   const size_t at = rest.find('@');
   if (at != std::string::npos) {
+    std::string suffix = rest.substr(at + 1);
+    // A trailing "ms" selects latency-injection mode; a bare integer is the
+    // classic skip count. "@ms", "@-3ms" and "@2.5ms" are all malformed.
+    const bool is_delay =
+        suffix.size() > 2 && suffix.substr(suffix.size() - 2) == "ms";
+    if (is_delay) suffix = suffix.substr(0, suffix.size() - 2);
     char* end = nullptr;
-    spec->skip = std::strtoll(rest.c_str() + at + 1, &end, 10);
-    if (end == rest.c_str() + at + 1 || *end != '\0' || spec->skip < 0) {
-      return Status::InvalidArgument("failpoint '" + *site +
-                                     "': bad @skip in '" + rest + "'");
+    const int64_t value = std::strtoll(suffix.c_str(), &end, 10);
+    if (suffix.empty() || end != suffix.c_str() + suffix.size() ||
+        value < 0 || (is_delay && value == 0)) {
+      return Status::InvalidArgument("failpoint '" + *site + "': bad @" +
+                                     (is_delay ? "delay" : "skip") +
+                                     " in '" + rest + "'");
+    }
+    if (is_delay) {
+      spec->delay_ms = value;
+    } else {
+      spec->skip = value;
     }
     rest = rest.substr(0, at);
   }
@@ -90,7 +104,8 @@ void Failpoints::ConfigureFromEnvLocked() {
     sites_[site] = parsed;
     EMBSR_LOG(Info) << "failpoint armed: " << site << " p="
                     << parsed.probability << " limit=" << parsed.remaining
-                    << " skip=" << parsed.skip;
+                    << " skip=" << parsed.skip
+                    << " delay_ms=" << parsed.delay_ms;
   }
 }
 
@@ -110,7 +125,13 @@ Status Failpoints::Configure(const std::string& spec) {
 void Failpoints::Set(const std::string& site, double probability,
                      int64_t limit, int64_t skip) {
   std::lock_guard<std::mutex> lock(mu_);
-  sites_[site] = FailpointSpec{probability, limit, skip};
+  sites_[site] = FailpointSpec{probability, limit, skip, /*delay_ms=*/0};
+}
+
+void Failpoints::SetDelay(const std::string& site, double probability,
+                          int64_t delay_ms, int64_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_[site] = FailpointSpec{probability, limit, /*skip=*/0, delay_ms};
 }
 
 void Failpoints::Clear(const std::string& site) {
@@ -125,26 +146,41 @@ void Failpoints::ClearAll() {
   counts_.clear();
 }
 
-bool Failpoints::ShouldFail(const std::string& site) {
+bool Failpoints::EvaluateLocked(const std::string& site,
+                                FailpointSpec* spec) {
   static obs::Counter* triggers =
       obs::Registry::Global().GetCounter("robust/failpoint_triggers");
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sites_.find(site);
-  if (it == sites_.end()) return false;
-  FailpointSpec& spec = it->second;
-  if (spec.skip > 0) {
-    --spec.skip;
+  if (spec->skip > 0) {
+    --spec->skip;
     return false;
   }
-  if (spec.remaining == 0) return false;
+  if (spec->remaining == 0) return false;
   const bool fire =
-      spec.probability >= 1.0 || rng_.Bernoulli(spec.probability);
+      spec->probability >= 1.0 || rng_.Bernoulli(spec->probability);
   if (!fire) return false;
-  if (spec.remaining > 0) --spec.remaining;
+  if (spec->remaining > 0) --spec->remaining;
   ++counts_[site];
   triggers->Increment();
   obs::Registry::Global().GetCounter("robust/failpoint/" + site)->Increment();
   return true;
+}
+
+bool Failpoints::ShouldFail(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || it->second.delay_ms > 0) return false;
+  return EvaluateLocked(site, &it->second);
+}
+
+int64_t Failpoints::ShouldDelayMs(const std::string& site) {
+  static obs::Counter* delay_total =
+      obs::Registry::Global().GetCounter("robust/failpoint_delay_ms_total");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || it->second.delay_ms <= 0) return 0;
+  if (!EvaluateLocked(site, &it->second)) return 0;
+  delay_total->Add(it->second.delay_ms);
+  return it->second.delay_ms;
 }
 
 int64_t Failpoints::TriggerCount(const std::string& site) const {

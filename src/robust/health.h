@@ -37,9 +37,12 @@ enum class BatchVerdict {
 /// the *parameters* (not the batch) are poisoned — and the caller should
 /// restore the last known-good checkpoint and call NotifyRollback().
 ///
-/// Everything is counted in the obs metrics registry:
-/// `robust/unhealthy_batches`, `robust/rollbacks`, and the
-/// `robust/health_lr_scale` gauge.
+/// Everything is counted in the obs metrics registry so training-side
+/// degradation is visible in run logs, not just the text log:
+/// `robust/unhealthy_batches` and `robust/rollbacks` counters plus the
+/// `robust/health_lr_scale`, `robust/health_strikes` and
+/// `robust/health_backoff_level` gauges (the last is the integer number of
+/// backoff steps lr_scale sits below 1.0).
 class HealthGuard {
  public:
   HealthGuard();
@@ -63,6 +66,9 @@ class HealthGuard {
                           double grad_norm);
 
  private:
+  /// Mirrors strikes / lr_scale / backoff level into the obs gauges.
+  void ExportMetrics() const;
+
   HealthConfig config_;
   int strikes_ = 0;
   double lr_scale_ = 1.0;

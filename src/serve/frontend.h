@@ -1,0 +1,157 @@
+#ifndef EMBSR_SERVE_FRONTEND_H_
+#define EMBSR_SERVE_FRONTEND_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "models/recommender.h"
+#include "serve/clock.h"
+#include "serve/scorer.h"
+#include "serve/session_store.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace embsr {
+namespace serve {
+
+/// Serving knobs, read from the environment by FromEnv:
+///
+///   EMBSR_SERVE_DEADLINE_MS          per-request latency budget (50)
+///   EMBSR_SERVE_QUEUE_CAP            admission queue capacity (256)
+///   EMBSR_SERVE_RETRIES              max retries of a transient failure (3)
+///   EMBSR_SERVE_BACKOFF_MS           base retry backoff, doubles/try (2)
+///   EMBSR_SERVE_BREAKER_STRIKES      consecutive scorer failures to open (5)
+///   EMBSR_SERVE_BREAKER_COOLDOWN_MS  open→half-open cooldown (250)
+///   EMBSR_SERVE_TOP_K                recommendations per response (20)
+///   EMBSR_SERVE_SEED                 backoff-jitter seed (7)
+struct ServeConfig {
+  int64_t deadline_ms = 50;
+  size_t queue_capacity = 256;
+  int max_retries = 3;
+  int64_t backoff_base_ms = 2;
+  int breaker_strikes = 5;
+  int64_t breaker_cooldown_ms = 250;
+  size_t top_k = 20;
+  uint64_t seed = 7;
+  SessionStoreConfig store;
+
+  static ServeConfig FromEnv();
+};
+
+/// One scoring request: apply `event` to `session_id`'s live state, then
+/// recommend the next items. `request_id` must be unique per request — it
+/// salts the backoff-jitter stream, so a request's retry schedule is a pure
+/// function of (config seed, request id).
+struct Request {
+  uint64_t request_id = 0;
+  uint64_t session_id = 0;
+  MicroBehavior event;
+};
+
+/// Why a response came from the degraded path (empty when full price).
+/// Values: "breaker_open", "score_failed", "score_deadline",
+/// "store_unavailable".
+struct ServeResponse {
+  uint64_t request_id = 0;
+  /// OK for every answered request (including degraded ones);
+  /// kDeadlineExceeded when the budget expired before scoring started and
+  /// the work was abandoned.
+  Status status = Status::OK();
+  bool degraded = false;
+  std::string degraded_reason;
+  std::vector<int64_t> top_items;
+  std::vector<float> top_scores;
+  /// Transient-failure retries spent (store + scorer).
+  int retries = 0;
+  /// Total jittered backoff waited, in ns. Deterministic given
+  /// (config seed, request id) — the determinism test asserts on it.
+  int64_t backoff_ns = 0;
+  double queue_ms = 0.0;
+  double latency_ms = 0.0;
+};
+
+/// The fault-tolerant request front end.
+///
+/// Single-threaded by design: Submit() only performs admission control
+/// (bounded queue, load shedding) and ProcessNext() runs the pipeline for
+/// one queued request:
+///
+///   dequeue ── deadline? ── store update (retry w/ jittered backoff)
+///     ── deadline? ── primary scorer (breaker-guarded, retried,
+///        latency-injectable) ── deadline? ── top-K
+///
+/// The per-request budget is fixed at Submit time (enqueue instant +
+/// deadline_ms) so time spent queued eats the same budget as time spent
+/// scoring — overload turns into shedding and degraded answers instead of
+/// unbounded latency. Whenever the primary path cannot answer in budget
+/// (breaker open, retries exhausted, scorer finished late), the response
+/// is re-scored by the popularity/recency fallback and labeled degraded;
+/// a request is only abandoned outright (kDeadlineExceeded) when its
+/// budget was already gone before any scoring started.
+///
+/// Failpoint sites: "serve.queue_full" (forced shed at Submit),
+/// "serve.store_read" (transient store failure, inside SessionStore),
+/// "serve.score" (scorer failure, or injected stall when armed @DELAYms).
+///
+/// All time flows through the injected ServeClock; under EMBSR_THREADS=1
+/// with a manual clock every response — including backoff schedules — is
+/// bit-identical across runs.
+class ServeFrontend {
+ public:
+  /// `primary` and `fallback` are borrowed and must outlive the frontend.
+  /// `fallback` must be fitted; it is the always-works degraded scorer.
+  ServeFrontend(ServeConfig config, Recommender* primary,
+                PopularityScorer* fallback, ServeClock clock = RealClock());
+
+  /// Admission control. OK = queued; kResourceExhausted = shed (queue at
+  /// capacity or injected "serve.queue_full").
+  [[nodiscard]] Status Submit(const Request& req);
+
+  /// Runs the pipeline for the oldest queued request. NotFound when the
+  /// queue is empty.
+  Result<ServeResponse> ProcessNext();
+
+  /// Drains the queue, preserving order.
+  std::vector<ServeResponse> ProcessAll();
+
+  size_t queue_depth() const { return queue_.size(); }
+  SessionStore& store() { return store_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct QueuedRequest {
+    Request req;
+    int64_t enqueue_ns = 0;
+    int64_t deadline_ns = 0;
+  };
+
+  bool Expired(int64_t deadline_ns) const {
+    return clock_.now_ns() >= deadline_ns;
+  }
+
+  /// Sleeps the jittered exponential backoff for `attempt` (0-based) on
+  /// the request's jitter stream; accounts the wait into `resp`.
+  void Backoff(int attempt, Rng* jitter, ServeResponse* resp);
+
+  /// Scores via the fallback and marks the response degraded.
+  void Degrade(const Example& ex, const std::string& reason,
+               ServeResponse* resp, std::vector<float>* scores);
+
+  void FinishTopK(const std::vector<float>& scores, ServeResponse* resp);
+
+  ServeConfig config_;
+  Recommender* primary_;
+  PopularityScorer* fallback_;
+  ServeClock clock_;
+  SessionStore store_;
+  CircuitBreaker breaker_;
+  std::deque<QueuedRequest> queue_;
+};
+
+}  // namespace serve
+}  // namespace embsr
+
+#endif  // EMBSR_SERVE_FRONTEND_H_

@@ -1,0 +1,123 @@
+#ifndef EMBSR_SERVE_SESSION_STORE_H_
+#define EMBSR_SERVE_SESSION_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/session.h"
+#include "util/status.h"
+
+namespace embsr {
+namespace serve {
+
+/// One live session's incrementally-maintained model input.
+///
+/// This is the serving-side mirror of data/preprocess.cc's macro/micro
+/// merge: each arriving micro-behavior either extends the last macro item's
+/// operation sub-sequence (same item as the previous event) or opens a new
+/// macro item. The flat micro sequence feeding the self-attention models is
+/// kept in parallel. The point is MicroRec-style low memory traffic per
+/// request: appending one event is O(1) amortized — the session is never
+/// re-derived from its full event log at request time.
+struct SessionState {
+  std::vector<int64_t> macro_items;
+  /// Parallel to macro_items; each inner vector is non-empty.
+  std::vector<std::vector<int64_t>> macro_ops;
+  std::vector<int64_t> flat_items;
+  std::vector<int64_t> flat_ops;
+  /// Store-logical recency stamp for LRU eviction. Not serialized: snapshot
+  /// bytes depend only on session *content*, so snapshot→restore→snapshot
+  /// round-trips bit-for-bit.
+  uint64_t last_touch = 0;
+
+  /// Applies one micro-behavior (merge-or-extend, see above).
+  void Append(const MicroBehavior& ev);
+
+  /// Drops the oldest macro items (and their micro-behaviors) until at most
+  /// `max_flat_events` flat events remain. Bounds per-session memory for
+  /// pathological never-ending sessions.
+  void TrimToFlatCap(size_t max_flat_events);
+
+  /// The model-facing view: the whole current session as input, target
+  /// unset (serving predicts it). Ops/items invariants match preprocess.
+  Example ToExample() const;
+
+  friend bool operator==(const SessionState& a, const SessionState& b) {
+    return a.macro_items == b.macro_items && a.macro_ops == b.macro_ops &&
+           a.flat_items == b.flat_items && a.flat_ops == b.flat_ops;
+  }
+};
+
+/// Knobs for the in-memory store, read from the environment:
+///
+///   EMBSR_SERVE_MAX_SESSIONS  LRU-evict beyond this many live sessions
+///   EMBSR_SERVE_MAX_EVENTS    per-session flat-event cap (sliding window)
+struct SessionStoreConfig {
+  size_t max_sessions = 100000;
+  size_t max_events_per_session = 256;
+
+  static SessionStoreConfig FromEnv();
+};
+
+/// In-memory per-user session state with incremental updates, LRU eviction
+/// and CRC'd snapshot/restore.
+///
+/// Not internally synchronized: the serving frontend processes requests one
+/// at a time off its admission queue (see ServeFrontend), which is the
+/// store's one writer. Snapshots use the checkpoint-v2 conventions: the
+/// whole image is assembled in memory, CRC-32'd over every preceding byte,
+/// and written atomically (tmp + fsync + rename via AtomicWriteFile), so a
+/// crash mid-snapshot never corrupts the previous one, and truncation or
+/// bit rot is always detected at load.
+///
+/// The failpoint site "serve.store_read" injects a *transient* lookup
+/// failure into ApplyEvent/Get — the unit the frontend's retry-with-backoff
+/// wraps.
+class SessionStore {
+ public:
+  explicit SessionStore(SessionStoreConfig config = SessionStoreConfig());
+
+  /// Applies one event to `session_id` (creating the session if new),
+  /// refreshes its LRU stamp, and returns the updated state. The returned
+  /// pointer is valid until the next non-const store call. Internal on an
+  /// injected "serve.store_read" failure.
+  Result<const SessionState*> ApplyEvent(uint64_t session_id,
+                                         const MicroBehavior& ev);
+
+  /// Read-only lookup. NotFound for unknown sessions; Internal on an
+  /// injected "serve.store_read" failure.
+  Result<const SessionState*> Get(uint64_t session_id) const;
+
+  size_t size() const { return sessions_.size(); }
+  int64_t evictions() const { return evictions_; }
+
+  /// Serializes every session (sorted by id, so output is deterministic)
+  /// in the snapshot format; the trailing 4 bytes are the CRC-32 of
+  /// everything before them.
+  std::string Serialize() const;
+
+  /// Atomic CRC'd snapshot of the whole store.
+  [[nodiscard]] Status SaveSnapshot(const std::string& path) const;
+
+  /// Replaces the store contents with a snapshot's. Bounds-checked parse,
+  /// CRC verified first; on any error the store is left unchanged. LRU
+  /// recency restarts from zero (recency is runtime state, not content).
+  [[nodiscard]] Status LoadSnapshot(const std::string& path);
+
+  const SessionStoreConfig& config() const { return config_; }
+
+ private:
+  void MaybeEvict();
+
+  SessionStoreConfig config_;
+  std::map<uint64_t, SessionState> sessions_;
+  uint64_t touch_seq_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace serve
+}  // namespace embsr
+
+#endif  // EMBSR_SERVE_SESSION_STORE_H_

@@ -17,6 +17,15 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  /// The caller's deadline expired before the operation completed; any
+  /// partial work was abandoned, not returned (serving-path contract).
+  kDeadlineExceeded,
+  /// A bounded resource (admission queue, capacity budget) is full and the
+  /// request was shed instead of queued unboundedly.
+  kResourceExhausted,
+  /// A dependency is temporarily down (circuit open, transient fault);
+  /// retrying later may succeed.
+  kUnavailable,
 };
 
 /// A Status describes the outcome of an operation: OK, or an error code
@@ -46,6 +55,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

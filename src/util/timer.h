@@ -2,6 +2,8 @@
 #define EMBSR_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
+#include <thread>
 
 namespace embsr {
 
@@ -23,6 +25,16 @@ class WallTimer {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// Blocks the calling thread for `ns` nanoseconds (no-op for ns <= 0).
+/// Lives in util so the layers above can stall (injected latency, backoff
+/// waits) without reaching for std::chrono directly — the serve frontend
+/// routes every wait through its injectable clock, which points here only
+/// in real-time mode.
+inline void SleepForNs(int64_t ns) {
+  if (ns <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
 
 }  // namespace embsr
 

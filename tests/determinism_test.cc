@@ -13,6 +13,10 @@
 #include "gtest/gtest.h"
 #include "models/neural_model.h"
 #include "par/thread_pool.h"
+#include "robust/failpoint.h"
+#include "serve/clock.h"
+#include "serve/frontend.h"
+#include "serve/scorer.h"
 #include "train/evaluator.h"
 #include "train/model_zoo.h"
 #include "util/check.h"
@@ -121,6 +125,81 @@ TEST(DeterminismTest, SerialVsParallelEvaluationWithinTolerance) {
     ASSERT_TRUE(parallel.report.mrr.count(k)) << "missing mrr@" << k;
     EXPECT_NEAR(v, parallel.report.mrr.at(k), 1e-6) << "mrr@" << k;
   }
+}
+
+// The serving retry schedule is a pure function of (config seed, request
+// id): two identical runs — same manual clock script, same injected
+// failpoint pattern — must produce bit-identical backoff waits, retry
+// counts and rankings for every request.
+/// One serve run's observable retry schedule, response by response.
+struct ServeTrace {
+  std::vector<int64_t> backoff_ns;
+  std::vector<int> retries;
+  std::vector<std::vector<int64_t>> top_items;
+  friend bool operator==(const ServeTrace&, const ServeTrace&) = default;
+};
+
+TEST(DeterminismTest, ServeBackoffScheduleBitIdenticalAcrossRuns) {
+  ProcessedDataset data;
+  data.name = "serve-determinism";
+  data.num_items = 8;
+  data.num_operations = 2;
+  for (int64_t item = 0; item < 8; ++item) {
+    Example ex;
+    ex.macro_items = {item};
+    ex.macro_ops = {{0}};
+    ex.flat_items = {item};
+    ex.flat_ops = {0};
+    ex.target = item;
+    data.train.push_back(ex);
+  }
+
+  auto run_once = [&data]() {
+    robust::Failpoints::Global().ClearAll();
+    // Every store lookup fails twice before succeeding; every third
+    // scorer call fails. Limits make the pattern identical across runs.
+    robust::Failpoints::Global().Set("serve.store_read", 1.0, /*limit=*/6);
+    robust::Failpoints::Global().Set("serve.score", 1.0, /*limit=*/2);
+
+    serve::PopularityScorer fallback;
+    EXPECT_TRUE(fallback.Fit(data).ok());
+    serve::PopularityScorer primary;
+    EXPECT_TRUE(primary.Fit(data).ok());
+    serve::ManualClock mc;
+    serve::ServeConfig cfg;
+    cfg.deadline_ms = 500;  // roomy: retries, not deadlines, under test
+    cfg.max_retries = 4;
+    cfg.seed = 99;
+    serve::ServeFrontend fe(cfg, &primary, &fallback, mc.clock());
+
+    ServeTrace trace;
+    for (uint64_t id = 1; id <= 8; ++id) {
+      serve::Request req;
+      req.request_id = id;
+      req.session_id = 1 + id % 3;
+      req.event = MicroBehavior{static_cast<int64_t>(id % 8), 0};
+      EXPECT_TRUE(fe.Submit(req).ok());
+      auto r = fe.ProcessNext();
+      EXPECT_TRUE(r.ok());
+      if (!r.ok()) continue;
+      trace.backoff_ns.push_back(r.value().backoff_ns);
+      trace.retries.push_back(r.value().retries);
+      trace.top_items.push_back(r.value().top_items);
+    }
+    robust::Failpoints::Global().ClearAll();
+    return trace;
+  };
+
+  const ServeTrace first = run_once();
+  const ServeTrace second = run_once();
+  EXPECT_TRUE(first == second);
+  // The schedule actually exercised retries (else the test proves nothing).
+  int total_retries = 0;
+  for (int r : first.retries) total_retries += r;
+  EXPECT_GT(total_retries, 0);
+  int64_t total_backoff = 0;
+  for (int64_t b : first.backoff_ns) total_backoff += b;
+  EXPECT_GT(total_backoff, 0);
 }
 
 }  // namespace

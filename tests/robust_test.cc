@@ -112,6 +112,58 @@ TEST(FailpointTest, ReinitReadsEnvironment) {
   EXPECT_FALSE(fp.ShouldFail("env.site"));
 }
 
+TEST(FailpointTest, LatencyModeDelaysInsteadOfFailing) {
+  FailpointEnvGuard guard;
+  auto& fp = robust::Failpoints::Global();
+  ASSERT_TRUE(fp.Configure("slow=1@20ms").ok());
+  // A latency site never hard-fails; every evaluation asks for the stall.
+  EXPECT_FALSE(fp.ShouldFail("slow"));
+  EXPECT_EQ(fp.ShouldDelayMs("slow"), 20);
+  EXPECT_EQ(fp.ShouldDelayMs("slow"), 20);
+  EXPECT_EQ(fp.TriggerCount("slow"), 2);
+  // ...and ShouldFail on it consumed no limit/trigger state.
+  ASSERT_TRUE(fp.Configure("slow2=1x1@5ms").ok());
+  EXPECT_FALSE(fp.ShouldFail("slow2"));
+  EXPECT_EQ(fp.ShouldDelayMs("slow2"), 5);
+  EXPECT_EQ(fp.ShouldDelayMs("slow2"), 0);  // limit exhausted
+}
+
+TEST(FailpointTest, SetDelayArmsLatencyMode) {
+  FailpointEnvGuard guard;
+  auto& fp = robust::Failpoints::Global();
+  fp.SetDelay("stall", 1.0, /*delay_ms=*/7, /*limit=*/2);
+  EXPECT_EQ(fp.ShouldDelayMs("stall"), 7);
+  EXPECT_EQ(fp.ShouldDelayMs("stall"), 7);
+  EXPECT_EQ(fp.ShouldDelayMs("stall"), 0);
+  EXPECT_EQ(fp.TriggerCount("stall"), 2);
+}
+
+TEST(FailpointTest, ErrorModeSitesNeverDelay) {
+  FailpointEnvGuard guard;
+  auto& fp = robust::Failpoints::Global();
+  fp.Set("err", 1.0, /*limit=*/1);
+  // Asking the wrong mode must not consume the one allowed trigger.
+  EXPECT_EQ(fp.ShouldDelayMs("err"), 0);
+  EXPECT_EQ(fp.TriggerCount("err"), 0);
+  EXPECT_TRUE(fp.ShouldFail("err"));
+}
+
+TEST(FailpointTest, ConfigureRejectsMalformedLatencySpecs) {
+  FailpointEnvGuard guard;
+  auto& fp = robust::Failpoints::Global();
+  EXPECT_FALSE(fp.Configure("s=1@ms").ok());      // no digits
+  EXPECT_FALSE(fp.Configure("s=1@-3ms").ok());    // negative delay
+  EXPECT_FALSE(fp.Configure("s=1@2.5ms").ok());   // fractional delay
+  EXPECT_FALSE(fp.Configure("s=1@0ms").ok());     // zero-latency delay
+  EXPECT_FALSE(fp.Configure("s=1@20msx").ok());   // trailing junk
+  // A malformed clause must not arm the site.
+  EXPECT_FALSE(fp.ShouldFail("s"));
+  EXPECT_EQ(fp.ShouldDelayMs("s"), 0);
+  // "@0" stays legal as a skip count (classic grammar).
+  EXPECT_TRUE(fp.Configure("s=1x1@0").ok());
+  EXPECT_TRUE(fp.ShouldFail("s"));
+}
+
 TEST(FailpointTest, InjectedFailureNamesTheSite) {
   Status s = robust::InjectedFailure("some.site", "doing a thing");
   EXPECT_EQ(s.code(), StatusCode::kInternal);
@@ -178,6 +230,53 @@ TEST(HealthGuardTest, LrScaleIsFloored) {
   robust::HealthGuard guard(cfg);
   for (int i = 0; i < 100; ++i) guard.CheckBatch(std::nan(""), 1.0);
   EXPECT_GE(guard.lr_scale(), cfg.min_lr_scale);
+}
+
+TEST(HealthGuardTest, ExportsStrikeAndBackoffGauges) {
+  auto& reg = obs::Registry::Global();
+  obs::Gauge* scale = reg.GetGauge("robust/health_lr_scale");
+  obs::Gauge* strikes = reg.GetGauge("robust/health_strikes");
+  obs::Gauge* level = reg.GetGauge("robust/health_backoff_level");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  robust::HealthGuard guard(TestHealthConfig());  // ctor exports baseline
+  EXPECT_EQ(strikes->value(), 0.0);
+  EXPECT_EQ(scale->value(), 1.0);
+  EXPECT_EQ(level->value(), 0.0);
+
+  EXPECT_EQ(guard.CheckBatch(nan, 1.0), robust::BatchVerdict::kSkip);
+  EXPECT_EQ(strikes->value(), 1.0);
+  EXPECT_EQ(scale->value(), 0.5);
+  EXPECT_EQ(level->value(), 1.0);
+
+  EXPECT_EQ(guard.CheckBatch(nan, 1.0), robust::BatchVerdict::kSkip);
+  EXPECT_EQ(strikes->value(), 2.0);
+  EXPECT_EQ(scale->value(), 0.25);
+  EXPECT_EQ(level->value(), 2.0);
+
+  // A good batch clears strikes and recovers one backoff step; the gauges
+  // follow in the same call.
+  EXPECT_EQ(guard.CheckBatch(1.0, 1.0), robust::BatchVerdict::kOk);
+  EXPECT_EQ(strikes->value(), 0.0);
+  EXPECT_EQ(scale->value(), 0.5);
+  EXPECT_EQ(level->value(), 1.0);
+}
+
+TEST(HealthGuardTest, RollbackEventsLandInCounterAndGauges) {
+  auto& reg = obs::Registry::Global();
+  obs::Counter* rollbacks = reg.GetCounter("robust/rollbacks");
+  obs::Gauge* strikes = reg.GetGauge("robust/health_strikes");
+  const int64_t before = rollbacks->value();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  robust::HealthGuard guard(TestHealthConfig());  // max_strikes = 3
+  EXPECT_EQ(guard.CheckBatch(nan, 1.0), robust::BatchVerdict::kSkip);
+  EXPECT_EQ(guard.CheckBatch(nan, 1.0), robust::BatchVerdict::kSkip);
+  EXPECT_EQ(guard.CheckBatch(nan, 1.0), robust::BatchVerdict::kRollback);
+  guard.NotifyRollback();
+  EXPECT_EQ(rollbacks->value(), before + 1);
+  EXPECT_EQ(guard.strikes(), 0);
+  EXPECT_EQ(strikes->value(), 0.0);
 }
 
 TEST(HealthGuardTest, ConfigFromEnv) {
@@ -261,6 +360,63 @@ TEST(CheckpointManagerTest, LoadLatestSkipsCorruptCheckpoint) {
   nn::TrainState st;
   ASSERT_TRUE(mgr.LoadLatest(&lin, &st).ok());
   EXPECT_EQ(st.epoch, 1);
+}
+
+TEST(CheckpointManagerTest, LoadLatestReportsSkippedCorruptPaths) {
+  const std::string dir = TempPath("ckpt_skipped_paths");
+  robust::CheckpointManager mgr(ManagerConfig(dir, /*keep=*/3), "run");
+  obs::Counter* skipped_counter =
+      obs::Registry::Global().GetCounter("robust/ckpt_corrupt_skipped");
+  const int64_t before = skipped_counter->value();
+  Rng rng(5);
+  nn::Linear lin(2, 2, &rng);
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    ASSERT_TRUE(mgr.Save(lin, StateForEpoch(epoch)).ok());
+  }
+  const auto files = mgr.ListCheckpoints();
+  ASSERT_EQ(files.size(), 3u);
+  {
+    auto data = ReadFileToString(files.back());
+    ASSERT_TRUE(data.ok());
+    std::string bytes = std::move(data).value();
+    bytes[bytes.size() / 2] ^= 0x40;
+    std::ofstream(files.back(), std::ios::binary | std::ios::trunc) << bytes;
+  }
+
+  nn::TrainState st;
+  std::vector<std::string> skipped;
+  ASSERT_TRUE(mgr.LoadLatest(&lin, &st, &skipped).ok());
+  EXPECT_EQ(st.epoch, 2);
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0], files.back());
+  EXPECT_EQ(skipped_counter->value(), before + 1);
+}
+
+TEST(CheckpointManagerTest, AllCorruptNamesEveryPathInStatus) {
+  const std::string dir = TempPath("ckpt_all_corrupt");
+  robust::CheckpointManager mgr(ManagerConfig(dir, /*keep=*/2), "run");
+  Rng rng(6);
+  nn::Linear lin(2, 2, &rng);
+  ASSERT_TRUE(mgr.Save(lin, StateForEpoch(1)).ok());
+  ASSERT_TRUE(mgr.Save(lin, StateForEpoch(2)).ok());
+  for (const auto& path : mgr.ListCheckpoints()) {
+    auto data = ReadFileToString(path);
+    ASSERT_TRUE(data.ok());
+    std::string bytes = std::move(data).value();
+    bytes[bytes.size() / 3] ^= 0x11;
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+  }
+
+  nn::TrainState st;
+  std::vector<std::string> skipped;
+  const Status s = mgr.LoadLatest(&lin, &st, &skipped);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(skipped.size(), 2u);
+  EXPECT_NE(s.message().find("skipped 2 corrupt checkpoint(s)"),
+            std::string::npos);
+  for (const auto& path : skipped) {
+    EXPECT_NE(s.message().find(path), std::string::npos);
+  }
 }
 
 TEST(CheckpointManagerTest, LoadLatestOnFreshRunIsNotFound) {
