@@ -20,6 +20,12 @@ Usage:
 "unknown" outside a checkout). `check` ignores benches faster than
 --min-seconds (default 0.05): sub-50ms wall times are scheduler noise.
 
+Besides wall time, `check` compares every `planned_peak_bytes*` scalar
+(the arena planner's per-model footprint from BENCH_graph_plan.json)
+against the previous entry with the same threshold: planned memory is
+deterministic, so growth past the threshold is a real graph change, not
+noise — and unlike wall time it is not gated on --min-seconds.
+
 Exit codes: 0 clean, 1 regression found (check), 2 usage/IO error.
 Stdlib only.
 """
@@ -167,20 +173,34 @@ def check_entries(entries, max_regress_pct, min_seconds):
         base = prev.get("benches", {}).get(name)
         if base is None:
             continue
-        b = base.get("wall_seconds")
-        c = cur.get("wall_seconds")
-        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
-            continue
-        if b < min_seconds:
-            continue
         if base.get("bench_scale") != cur.get("bench_scale") \
                 or base.get("threads") != cur.get("threads"):
             continue  # incomparable workloads
-        pct = (c / b - 1.0) * 100.0
-        if pct > max_regress_pct:
-            regressions.append(
-                f"{name}: wall_seconds {b:.3f} -> {c:.3f} ({pct:+.1f}% > "
-                f"{max_regress_pct:.0f}%)")
+        b = base.get("wall_seconds")
+        c = cur.get("wall_seconds")
+        if isinstance(b, (int, float)) and isinstance(c, (int, float)) \
+                and b >= min_seconds:
+            pct = (c / b - 1.0) * 100.0
+            if pct > max_regress_pct:
+                regressions.append(
+                    f"{name}: wall_seconds {b:.3f} -> {c:.3f} ({pct:+.1f}% > "
+                    f"{max_regress_pct:.0f}%)")
+        # Planned arena footprints are deterministic byte counts — no noise
+        # floor; any growth past the threshold is a real graph change.
+        base_scalars = base.get("scalars") or {}
+        cur_scalars = cur.get("scalars") or {}
+        for key in sorted(cur_scalars):
+            if not key.startswith("planned_peak_bytes"):
+                continue
+            sb, sc = base_scalars.get(key), cur_scalars[key]
+            if not isinstance(sb, (int, float)) or sb <= 0 \
+                    or not isinstance(sc, (int, float)):
+                continue
+            pct = (sc / sb - 1.0) * 100.0
+            if pct > max_regress_pct:
+                regressions.append(
+                    f"{name}: {key} {sb:.0f} -> {sc:.0f} ({pct:+.1f}% > "
+                    f"{max_regress_pct:.0f}%)")
     return regressions
 
 
@@ -287,6 +307,25 @@ def self_test():
         ]
         if check_entries(fast, 50.0, 0.05):
             failures.append("sub-min-seconds bench flagged")
+
+        # A planned-footprint jump is a regression even on a fast bench
+        # (deterministic byte counts have no --min-seconds noise floor)...
+        grown = [
+            {"commit": "x", "benches": {"graph_plan": {
+                "wall_seconds": 0.01, "threads": 1, "bench_scale": 1.0,
+                "scalars": {"planned_peak_bytes/EMBSR": 1000.0}}}},
+            {"commit": "y", "benches": {"graph_plan": {
+                "wall_seconds": 0.01, "threads": 1, "bench_scale": 1.0,
+                "scalars": {"planned_peak_bytes/EMBSR": 2100.0}}}},
+        ]
+        regs = check_entries(grown, 50.0, 0.05)
+        if not any("planned_peak_bytes/EMBSR" in r for r in regs):
+            failures.append(f"planned peak growth not flagged: {regs}")
+        # ...while steady footprints stay quiet.
+        grown[1]["benches"]["graph_plan"]["scalars"][
+            "planned_peak_bytes/EMBSR"] = 1040.0
+        if check_entries(grown, 50.0, 0.05):
+            failures.append("steady planned peak flagged as regression")
 
         # Workload changes make entries incomparable, not regressions.
         rescaled = [

@@ -23,6 +23,13 @@ Rules (rule ids in parentheses):
               src/util. All timing flows through WallTimer, obs spans or
               prof::NowNs, so the profiler sees every measurement and
               ad-hoc stopwatches can't drift from the instrumented paths.
+  raw-resize  `.resize(` / `.Reshape(` outside src/tensor. Tensor reshape
+              and buffer growth invalidate the static liveness intervals
+              the arena planner (src/analyze) proves safe, and Reshape's
+              copy-on-grow bug class is exactly what the PR-6 memory
+              tracker caught; std::vector sizing in I/O or graph-building
+              code must justify with an inline suppression so every site
+              is audited.
 
 Suppressions: append `// lint: allow(<rule-id>): <reason>` to the offending
 line, or put it on the line directly above (it covers both). The reason is
@@ -76,7 +83,7 @@ LAYER_DEPS = {
                "tensor", "obs", "util"},
     "analyze": {"train", "core", "datagen", "models", "nn", "optim", "data",
                 "graph", "metrics", "robust", "failpoint", "autograd",
-                "tensor", "par", "obs", "util"},
+                "tensor", "par", "obs", "prof", "util"},
 }
 
 SUPPRESS_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)(?P<reason>.*)")
@@ -98,6 +105,10 @@ RAW_CHRONO_RE = re.compile(r"\bstd::chrono\b")
 # The only directories allowed to read the clock directly; everyone else
 # measures through WallTimer / obs spans / prof::NowNs.
 CHRONO_EXEMPT_DIRS = ("obs", "prof", "util")
+RAW_RESIZE_RE = re.compile(r"\.(?:resize|Reshape)\s*\(")
+# The only directory allowed to change a buffer's shape in place; see the
+# raw-resize rule description.
+RESIZE_EXEMPT_DIRS = ("tensor",)
 
 
 def strip_comments(line):
@@ -141,6 +152,9 @@ def lint_file(rel_path, text):
     chrono_exempt = any(
         rel_path.startswith(os.path.join("src", d) + os.sep)
         for d in CHRONO_EXEMPT_DIRS)
+    resize_exempt = any(
+        rel_path.startswith(os.path.join("src", d) + os.sep)
+        for d in RESIZE_EXEMPT_DIRS)
 
     carried = None  # suppression declared on the previous line
     for i, raw in enumerate(text.splitlines(), start=1):
@@ -204,6 +218,12 @@ def lint_file(rel_path, text):
                   "direct std::chrono outside src/obs, src/prof and "
                   "src/util; time through WallTimer, obs spans or "
                   "prof::NowNs so the profiler sees every measurement")
+        if RAW_RESIZE_RE.search(code) and not resize_exempt:
+            check("raw-resize",
+                  ".resize()/.Reshape() outside src/tensor; in-place shape "
+                  "changes break the planner's static liveness intervals — "
+                  "construct at the final size, or justify container "
+                  "sizing with an inline suppression")
         # TODOs live in comments, so this rule scans the raw line.
         if TODO_OWNER_RE.search(raw):
             check("todo-owner",
@@ -288,11 +308,21 @@ SELF_TEST_CASES = [
     ("layer-dag", "src/obs/x.cc",
      '#include "prof/op_profiler.h"',
      '#include "obs/metrics.h"'),
+    ("raw-resize", "src/models/x.cc",
+     "scores.resize(num_items);",
+     "std::vector<float> scores(num_items, 0.0f);"),
+    ("raw-resize", "src/autograd/x.cc",
+     "Tensor g2 = g.Reshape({rows, cols});",
+     "Tensor g2 = Transpose(g);"),
+    ("raw-resize", "bench/x.cc",
+     "sessions.resize(count);",
+     "std::vector<Session> sessions(count);"),
 ]
 
-# The raw-chrono exemption list, pinned separately because the table above
-# can only express "fires on bad / quiet on good" at one path.
+# The raw-chrono / raw-resize exemption lists, pinned separately because the
+# table above can only express "fires on bad / quiet on good" at one path.
 CHRONO_EXEMPT_SNIPPET = "auto t0 = std::chrono::steady_clock::now();\n"
+RESIZE_EXEMPT_SNIPPET = "data_.resize(new_elems);\n"
 
 
 def self_test():
@@ -310,10 +340,18 @@ def self_test():
                  if v[2] == "raw-chrono"]
         if fired:
             failures.append(f"raw-chrono fired in exempt dir: {path}")
+    resize_exempt_paths = [os.path.join("src", d, "x.cc")
+                           for d in RESIZE_EXEMPT_DIRS]
+    for path in resize_exempt_paths:
+        fired = [v for v in lint_file(path, RESIZE_EXEMPT_SNIPPET)
+                 if v[2] == "raw-resize"]
+        if fired:
+            failures.append(f"raw-resize fired in exempt dir: {path}")
     for msg in failures:
         print(f"self-test: {msg}")
-    print(f"self-test: {len(SELF_TEST_CASES) + len(exempt_paths)} cases, "
-          f"{len(failures)} failure(s)")
+    cases = (len(SELF_TEST_CASES) + len(exempt_paths)
+             + len(resize_exempt_paths))
+    print(f"self-test: {cases} cases, {len(failures)} failure(s)")
     return 1 if failures else 0
 
 

@@ -96,9 +96,11 @@ for config in "${configs[@]}"; do
   echo "=== [$config] ctest EMBSR_THREADS=4 (log: $par_log)"
   # ctest registers gtest-discovered names (suite.case), so the filter
   # matches the suites from par_test, kernel_equiv_test, determinism_test,
-  # obs_race_test, access_sentinel_test and graph_audit_test.
+  # obs_race_test, access_sentinel_test, graph_audit_test and
+  # graph_plan_test (whose planner brackets its own prof session around
+  # parallel-kernel forward/backward passes).
   if (cd "$build_dir" && EMBSR_THREADS=4 ctest --output-on-failure \
-        -R '^(ParFor|ThreadPool|KernelEquivTest|DeterminismTest|ObsRaceTest|AccessSentinel(DeathTest)?|GraphAudit)\.' \
+        -R '^(ParFor|ThreadPool|KernelEquivTest|DeterminismTest|ObsRaceTest|AccessSentinel(DeathTest)?|GraphAudit|GraphPlan)\.' \
         2>&1 | tee "$par_log"); then
     echo "=== [$config threads=4] PASS"
   else

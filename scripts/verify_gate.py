@@ -23,6 +23,18 @@ With --graph-audit BIN (CMake passes the built graph_audit_test), also runs
 the autograd-graph auditor over the whole model zoo as a final stage, so
 the gate covers graph wiring as well as source hygiene.
 
+With --graph-plan BIN (CMake passes the built graph_plan_test), also runs
+the static shape/liveness analyzer and arena planner over the whole model
+zoo — every graph gets a verified non-overlapping arena plan whose planned
+footprint brackets the prof-measured peak — via check_bench_json.py --run,
+so the BENCH_graph_plan.json sidecar it writes is schema-validated in the
+same stage.
+
+With EMBSR_REQUIRE_TIDY=1 in the environment, clang-tidy becomes a *hard*
+stage: the binary must exist and .clang-tidy must parse (clang-tidy
+--verify-config). Without the variable the stage is skipped with a notice,
+matching the gcc-only default container.
+
 With --serve-bench BIN (CMake passes the built bench_serve_chaos), also
 runs the serving chaos driver at tiny scale under an EMBSR_FAILPOINTS spec
 (injected scorer/store failures and forced sheds on top of the bench's own
@@ -34,6 +46,7 @@ Exits non-zero on the first failing stage. Stdlib only.
 
 import argparse
 import os
+import shutil
 import subprocess
 import sys
 
@@ -70,6 +83,11 @@ def main():
     parser.add_argument("--graph-audit", metavar="BIN", default=None,
                         help="path to the built graph_audit_test binary; "
                              "when given, run it as the final gate stage")
+    parser.add_argument("--graph-plan", metavar="BIN", default=None,
+                        help="path to the built graph_plan_test binary; "
+                             "when given, plan + statically verify every "
+                             "zoo model's graph and validate the "
+                             "BENCH_graph_plan.json it emits")
     parser.add_argument("--serve-bench", metavar="BIN", default=None,
                         help="path to the built bench_serve_chaos binary; "
                              "when given, run it at tiny scale under an "
@@ -105,8 +123,28 @@ def main():
     else:
         print("verify_gate: no checked-in BENCH_*.json (ok)")
 
+    # clang-tidy is best-effort on the gcc-only default container, but a
+    # toolchain that *has* it can promote the check to a hard failure.
+    if os.environ.get("EMBSR_REQUIRE_TIDY") == "1":
+        tidy = shutil.which("clang-tidy")
+        if tidy is None:
+            print("verify_gate: FAILED at clang-tidy: EMBSR_REQUIRE_TIDY=1 "
+                  "but no clang-tidy binary on PATH")
+            sys.exit(1)
+        run([tidy, "--verify-config",
+             f"--config-file={os.path.join(root, '.clang-tidy')}"],
+            "clang-tidy config (required)")
+    else:
+        print("verify_gate: clang-tidy not required "
+              "(set EMBSR_REQUIRE_TIDY=1 to make it a hard stage)")
+
     if args.graph_audit:
         run([args.graph_audit], "graph audit (model zoo)")
+
+    if args.graph_plan:
+        run([py, os.path.join(scripts, "check_bench_json.py"),
+             "--run", args.graph_plan],
+            "graph plan (zoo planned + statically verified, JSON validated)")
 
     if args.serve_bench:
         run([py, os.path.join(scripts, "check_bench_json.py"),

@@ -1,0 +1,370 @@
+#include "analyze/shape_rules.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace embsr {
+namespace analyze {
+
+namespace {
+
+using ShapeRule = std::function<std::string(const ag::Node&)>;
+
+int64_t NumElems(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+std::string ShapeStr(const std::vector<int64_t>& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+const std::vector<int64_t>& Out(const ag::Node& n) { return n.value.shape(); }
+
+const std::vector<int64_t>& In(const ag::Node& n, size_t i) {
+  return n.parents[i]->value.shape();
+}
+
+std::string Fail(const ag::Node& n, const std::string& why) {
+  std::ostringstream out;
+  out << "op '" << n.op << "' output " << ShapeStr(Out(n)) << " vs inputs (";
+  for (size_t i = 0; i < n.parents.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << ShapeStr(In(n, i));
+  }
+  out << "): " << why;
+  return out.str();
+}
+
+std::string WantArity(const ag::Node& n, size_t k) {
+  if (n.parents.size() == k) return "";
+  std::ostringstream out;
+  out << "expected " << k << " input(s), node has " << n.parents.size();
+  return Fail(n, out.str());
+}
+
+bool Rank2(const std::vector<int64_t>& s) { return s.size() == 2; }
+
+/// Rows treated as a [1, d] or rank-1 [d] vector; -1 if neither.
+int64_t RowWidth(const std::vector<int64_t>& s) {
+  if (s.size() == 1) return s[0];
+  if (s.size() == 2 && s[0] == 1) return s[1];
+  return -1;
+}
+
+/// out shape identical to input 0 (unary elementwise and friends).
+std::string SameAsInput(const ag::Node& n) {
+  if (std::string e = WantArity(n, 1); !e.empty()) return e;
+  if (Out(n) != In(n, 0)) return Fail(n, "output must match the input shape");
+  return "";
+}
+
+/// out shape identical to both inputs (binary elementwise).
+std::string SameShapeBinary(const ag::Node& n) {
+  if (std::string e = WantArity(n, 2); !e.empty()) return e;
+  if (In(n, 0) != In(n, 1)) return Fail(n, "input shapes must match");
+  if (Out(n) != In(n, 0)) return Fail(n, "output must match the input shape");
+  return "";
+}
+
+/// a: [n, d]; row: width d; out == a.
+std::string RowBroadcast(const ag::Node& n) {
+  if (std::string e = WantArity(n, 2); !e.empty()) return e;
+  if (!Rank2(In(n, 0))) return Fail(n, "input 0 must be rank 2");
+  if (RowWidth(In(n, 1)) != In(n, 0)[1]) {
+    return Fail(n, "row width must equal input 0's column count");
+  }
+  if (Out(n) != In(n, 0)) return Fail(n, "output must match input 0's shape");
+  return "";
+}
+
+/// [n, d] reductions with a fully-determined output shape.
+std::string ColSums(const ag::Node& n) {  // [n, d] -> [1, d]
+  if (std::string e = WantArity(n, 1); !e.empty()) return e;
+  if (!Rank2(In(n, 0))) return Fail(n, "input must be rank 2");
+  if (Out(n) != std::vector<int64_t>{1, In(n, 0)[1]}) {
+    return Fail(n, "output must be [1, input cols]");
+  }
+  return "";
+}
+
+std::string Scalar(const ag::Node& n) {
+  if (NumElems(Out(n)) != 1) return Fail(n, "output must be a scalar");
+  return "";
+}
+
+void Register(std::map<std::string, ShapeRule>* rules, const char* name,
+              ShapeRule rule) {
+  (*rules)[name] = std::move(rule);
+}
+
+// Shape-rule contract: a rule sees one recorded node (output value + parent
+// values, in op-argument order) and re-derives the output shape, or — when
+// an op attribute is invisible to the graph (slice bounds, gather indices,
+// repeat counts) — checks every bound the attribute cannot break.
+//
+// Marker format: the quoted name in an EMBSR_SHAPE_RULE marker must be the
+// ops.h declaration name; verify::ScanShapeRuleCoverage diffs the two lists
+// in both directions (the scan is textual, so spelling the quoted form in
+// this comment would register a phantom rule).
+//
+// Four declared ops lower to other ops before a node is built (Neg ->
+// Scale, Row -> SliceRows, RowSoftmax -> RowSoftmaxMasked, MeanRowsTo1xD ->
+// Scale(SumRowsTo1xD)) and Dropout is the identity in eval mode; their
+// rules are registered anyway so coverage tracks the *declared* API — if a
+// lowering is ever undone, the node is already checkable.
+#define EMBSR_SHAPE_RULE(name) \
+  Register(&rules, name, [](const ag::Node& n) -> std::string
+
+std::map<std::string, ShapeRule> BuildRules() {
+  std::map<std::string, ShapeRule> rules;
+
+  // -- Elementwise binary --------------------------------------------------
+  EMBSR_SHAPE_RULE("Add") { return SameShapeBinary(n); });
+  EMBSR_SHAPE_RULE("Sub") { return SameShapeBinary(n); });
+  EMBSR_SHAPE_RULE("Mul") { return SameShapeBinary(n); });
+
+  // -- Broadcasts ----------------------------------------------------------
+  EMBSR_SHAPE_RULE("AddRowBroadcast") { return RowBroadcast(n); });
+  EMBSR_SHAPE_RULE("MulRowBroadcast") { return RowBroadcast(n); });
+  EMBSR_SHAPE_RULE("MulColBroadcast") {
+    if (std::string e = WantArity(n, 2); !e.empty()) return e;
+    if (!Rank2(In(n, 0))) return Fail(n, "input 0 must be rank 2");
+    if (In(n, 1) != std::vector<int64_t>{In(n, 0)[0], 1}) {
+      return Fail(n, "input 1 must be [input 0 rows, 1]");
+    }
+    if (Out(n) != In(n, 0)) {
+      return Fail(n, "output must match input 0's shape");
+    }
+    return "";
+  });
+
+  // -- Elementwise unary (incl. lowered and eval-identity ops) -------------
+  EMBSR_SHAPE_RULE("Scale") { return SameAsInput(n); });
+  EMBSR_SHAPE_RULE("AddScalar") { return SameAsInput(n); });
+  EMBSR_SHAPE_RULE("Neg") { return SameAsInput(n); });
+  EMBSR_SHAPE_RULE("Sigmoid") { return SameAsInput(n); });
+  EMBSR_SHAPE_RULE("Tanh") { return SameAsInput(n); });
+  EMBSR_SHAPE_RULE("Relu") { return SameAsInput(n); });
+  EMBSR_SHAPE_RULE("Exp") { return SameAsInput(n); });
+  EMBSR_SHAPE_RULE("Log") { return SameAsInput(n); });
+  EMBSR_SHAPE_RULE("Dropout") { return SameAsInput(n); });
+  EMBSR_SHAPE_RULE("L2NormalizeRowsOp") { return SameAsInput(n); });
+  EMBSR_SHAPE_RULE("LayerNormRows") {
+    if (std::string e = SameAsInput(n); !e.empty()) return e;
+    if (!Rank2(Out(n))) return Fail(n, "output must be rank 2");
+    return "";
+  });
+
+  // -- Matrix ops ----------------------------------------------------------
+  EMBSR_SHAPE_RULE("MatMul") {
+    if (std::string e = WantArity(n, 2); !e.empty()) return e;
+    if (!Rank2(In(n, 0)) || !Rank2(In(n, 1))) {
+      return Fail(n, "both inputs must be rank 2");
+    }
+    if (In(n, 0)[1] != In(n, 1)[0]) {
+      return Fail(n, "inner dimensions must agree");
+    }
+    if (Out(n) != std::vector<int64_t>{In(n, 0)[0], In(n, 1)[1]}) {
+      return Fail(n, "output must be [input 0 rows, input 1 cols]");
+    }
+    return "";
+  });
+  EMBSR_SHAPE_RULE("Transpose") {
+    if (std::string e = WantArity(n, 1); !e.empty()) return e;
+    if (!Rank2(In(n, 0))) return Fail(n, "input must be rank 2");
+    if (Out(n) != std::vector<int64_t>{In(n, 0)[1], In(n, 0)[0]}) {
+      return Fail(n, "output must be the transposed input shape");
+    }
+    return "";
+  });
+
+  // -- Concatenation / stacking / slicing ----------------------------------
+  EMBSR_SHAPE_RULE("ConcatCols") {
+    if (std::string e = WantArity(n, 2); !e.empty()) return e;
+    if (!Rank2(In(n, 0)) || !Rank2(In(n, 1))) {
+      return Fail(n, "both inputs must be rank 2");
+    }
+    if (In(n, 0)[0] != In(n, 1)[0]) return Fail(n, "row counts must agree");
+    if (Out(n) !=
+        std::vector<int64_t>{In(n, 0)[0], In(n, 0)[1] + In(n, 1)[1]}) {
+      return Fail(n, "output must be [rows, cols0 + cols1]");
+    }
+    return "";
+  });
+  EMBSR_SHAPE_RULE("ConcatRows") {
+    if (std::string e = WantArity(n, 2); !e.empty()) return e;
+    if (!Rank2(In(n, 0)) || !Rank2(In(n, 1))) {
+      return Fail(n, "both inputs must be rank 2");
+    }
+    if (In(n, 0)[1] != In(n, 1)[1]) {
+      return Fail(n, "column counts must agree");
+    }
+    if (Out(n) !=
+        std::vector<int64_t>{In(n, 0)[0] + In(n, 1)[0], In(n, 0)[1]}) {
+      return Fail(n, "output must be [rows0 + rows1, cols]");
+    }
+    return "";
+  });
+  EMBSR_SHAPE_RULE("StackRows") {
+    if (n.parents.empty()) return Fail(n, "expected at least one input");
+    const int64_t d = RowWidth(In(n, 0));
+    if (d < 0) return Fail(n, "inputs must be [1, d] or rank-1 rows");
+    for (size_t i = 1; i < n.parents.size(); ++i) {
+      if (RowWidth(In(n, i)) != d) {
+        return Fail(n, "all rows must share one width");
+      }
+    }
+    if (Out(n) !=
+        std::vector<int64_t>{static_cast<int64_t>(n.parents.size()), d}) {
+      return Fail(n, "output must be [row count, row width]");
+    }
+    return "";
+  });
+  // Slice bounds are op attributes the node does not carry, so the rule is
+  // bounded rather than exact: column-preserving, never more rows than the
+  // input.
+  EMBSR_SHAPE_RULE("SliceRows") {
+    if (std::string e = WantArity(n, 1); !e.empty()) return e;
+    if (Rank2(In(n, 0))) {
+      if (!Rank2(Out(n)) || Out(n)[1] != In(n, 0)[1]) {
+        return Fail(n, "output must keep the input's column count");
+      }
+      if (Out(n)[0] < 1 || Out(n)[0] > In(n, 0)[0]) {
+        return Fail(n, "output rows must be in [1, input rows]");
+      }
+      return "";
+    }
+    if (NumElems(Out(n)) < 1 || NumElems(Out(n)) > NumElems(In(n, 0))) {
+      return Fail(n, "output cannot outsize the input");
+    }
+    return "";
+  });
+  EMBSR_SHAPE_RULE("Row") {
+    if (std::string e = WantArity(n, 1); !e.empty()) return e;
+    if (!Rank2(In(n, 0))) return Fail(n, "input must be rank 2");
+    if (Out(n) != std::vector<int64_t>{1, In(n, 0)[1]}) {
+      return Fail(n, "output must be [1, input cols]");
+    }
+    return "";
+  });
+  // Gather indices are invisible; the row count is whatever was asked for.
+  EMBSR_SHAPE_RULE("GatherRows") {
+    if (std::string e = WantArity(n, 1); !e.empty()) return e;
+    if (!Rank2(In(n, 0))) return Fail(n, "table must be rank 2");
+    if (!Rank2(Out(n)) || Out(n)[1] != In(n, 0)[1]) {
+      return Fail(n, "output must keep the table's column count");
+    }
+    if (Out(n)[0] < 1) return Fail(n, "output must gather at least one row");
+    return "";
+  });
+  EMBSR_SHAPE_RULE("RepeatRow") {
+    if (std::string e = WantArity(n, 1); !e.empty()) return e;
+    const int64_t d = RowWidth(In(n, 0));
+    if (d < 0) return Fail(n, "input must be a [1, d] row");
+    if (!Rank2(Out(n)) || Out(n)[1] != d || Out(n)[0] < 1) {
+      return Fail(n, "output must be [n >= 1, input width]");
+    }
+    return "";
+  });
+
+  // -- Softmax / reductions / loss -----------------------------------------
+  EMBSR_SHAPE_RULE("RowSoftmaxMasked") {
+    if (std::string e = SameAsInput(n); !e.empty()) return e;
+    if (!Rank2(Out(n))) return Fail(n, "output must be rank 2");
+    return "";
+  });
+  EMBSR_SHAPE_RULE("RowSoftmax") {
+    if (std::string e = SameAsInput(n); !e.empty()) return e;
+    if (!Rank2(Out(n))) return Fail(n, "output must be rank 2");
+    return "";
+  });
+  EMBSR_SHAPE_RULE("SumAll") {
+    if (std::string e = WantArity(n, 1); !e.empty()) return e;
+    return Scalar(n);
+  });
+  EMBSR_SHAPE_RULE("SumRowsTo1xD") { return ColSums(n); });
+  EMBSR_SHAPE_RULE("MeanRowsTo1xD") { return ColSums(n); });
+  EMBSR_SHAPE_RULE("SumColsToNx1") {
+    if (std::string e = WantArity(n, 1); !e.empty()) return e;
+    if (!Rank2(In(n, 0))) return Fail(n, "input must be rank 2");
+    if (Out(n) != std::vector<int64_t>{In(n, 0)[0], 1}) {
+      return Fail(n, "output must be [input rows, 1]");
+    }
+    return "";
+  });
+  EMBSR_SHAPE_RULE("SoftmaxCrossEntropy") {
+    if (std::string e = WantArity(n, 1); !e.empty()) return e;
+    if (!Rank2(In(n, 0))) return Fail(n, "logits must be rank 2");
+    return Scalar(n);
+  });
+
+  return rules;
+}
+
+#undef EMBSR_SHAPE_RULE
+
+const std::map<std::string, ShapeRule>& Rules() {
+  static const auto* rules =  // lint: allow(raw-new): leaked singleton
+      new std::map<std::string, ShapeRule>(BuildRules());
+  return *rules;
+}
+
+}  // namespace
+
+bool HasShapeRule(const std::string& op) { return Rules().count(op) > 0; }
+
+std::vector<std::string> ShapeRuleNames() {
+  std::vector<std::string> names;
+  names.reserve(Rules().size());
+  for (const auto& [name, rule] : Rules()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+std::string CheckNodeShape(const ag::Node& node) {
+  auto it = Rules().find(node.op);
+  if (it == Rules().end()) {
+    return "op '" + std::string(node.op) +
+           "' has no registered shape rule (add an EMBSR_SHAPE_RULE entry "
+           "to src/analyze/shape_rules.cc)";
+  }
+  return it->second(node);
+}
+
+std::vector<std::string> CheckShapes(const std::vector<ag::Node*>& nodes,
+                                     ShapeCheckStats* stats) {
+  std::vector<std::string> failures;
+  ShapeCheckStats local;
+  for (ag::Node* n : nodes) {
+    if (std::string(n->op) == "leaf") {
+      ++local.leaves;
+      continue;
+    }
+    if (n->parents.empty()) {
+      // Ops over non-differentiable inputs record no parents (MakeOp only
+      // keeps them when a gradient will flow); their inputs are invisible,
+      // so the rule cannot run.
+      ++local.skipped;
+      continue;
+    }
+    ++local.checked;
+    if (std::string e = CheckNodeShape(*n); !e.empty()) {
+      failures.push_back("[shape-rule] " + e);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return failures;
+}
+
+}  // namespace analyze
+}  // namespace embsr

@@ -1,0 +1,63 @@
+#ifndef EMBSR_ANALYZE_SHAPE_RULES_H_
+#define EMBSR_ANALYZE_SHAPE_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace embsr {
+namespace analyze {
+
+/// Per-op symbolic shape rules over recorded autograd graphs.
+///
+/// Every op declared in autograd/ops.h has one registered rule that checks
+/// a node's recorded output shape against its parents' shapes — the static
+/// half of the shape contracts the kernels assert dynamically. The graph
+/// planner (graph_plan.h) runs these over every node before trusting the
+/// recorded sizes for liveness and arena layout; a node whose shape cannot
+/// be re-derived from its inputs would silently corrupt the plan.
+///
+/// Coverage is enforced the same way as the op cost models: each rule in
+/// shape_rules.cc carries an EMBSR_SHAPE_RULE("Name") marker,
+/// verify::ScanShapeRuleCoverage collects the markers, and
+/// tests/graph_plan_test.cc diffs them against autograd/ops.h in both
+/// directions — an op without a shape rule fails the scan test, not a
+/// production run.
+///
+/// Rules are *checkers*, not inferrers: attributes that never reach the
+/// node (slice bounds, gather indices, repeat counts) make full inference
+/// impossible from the graph alone, so rules with hidden attributes check
+/// the bounds the attributes cannot escape (e.g. a SliceRows output has its
+/// input's column count and no more rows than its input).
+
+/// True if `op` has a registered shape rule.
+bool HasShapeRule(const std::string& op);
+
+/// All registered rule names, sorted (mirrors the source-scan markers).
+std::vector<std::string> ShapeRuleNames();
+
+/// Checks `node`'s recorded output shape against its parents via the rule
+/// registered for its op. Returns "" when consistent, a diagnostic when
+/// not, and a diagnostic when the op has no rule. Precondition: the node
+/// has recorded parents (ops on non-differentiable inputs record none and
+/// must be skipped by the caller — they are opaque to static analysis).
+std::string CheckNodeShape(const ag::Node& node);
+
+struct ShapeCheckStats {
+  int64_t checked = 0;  // op nodes with recorded parents, rule applied
+  int64_t skipped = 0;  // op nodes without recorded parents (opaque)
+  int64_t leaves = 0;   // leaf nodes (no rule applies)
+};
+
+/// Runs CheckNodeShape over every node: leaves and opaque op nodes are
+/// counted and skipped, everything else is checked. Returns all
+/// diagnostics, "[shape-rule]"-prefixed.
+std::vector<std::string> CheckShapes(const std::vector<ag::Node*>& nodes,
+                                     ShapeCheckStats* stats);
+
+}  // namespace analyze
+}  // namespace embsr
+
+#endif  // EMBSR_ANALYZE_SHAPE_RULES_H_

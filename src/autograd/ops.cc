@@ -114,6 +114,7 @@ Variable AddRowBroadcast(const Variable& a, const Variable& row) {
                   AccumIfNeeded(an, out->grad);
                   if (rn->requires_grad) {
                     Tensor g = embsr::SumRowsTo1xD(out->grad);
+                    // lint: allow(raw-resize): same-count rank fixup, copies
                     rn->AccumulateGrad(g.Reshape(rn->value.shape()));
                   }
                 });
@@ -131,6 +132,7 @@ Variable MulRowBroadcast(const Variable& a, const Variable& row) {
     }
     if (rn->requires_grad) {
       Tensor gr = embsr::SumRowsTo1xD(embsr::Mul(o->grad, an->value));
+      // lint: allow(raw-resize): same-count rank fixup, copies
       rn->AccumulateGrad(gr.Reshape(rn->value.shape()));
     }
   });
@@ -332,6 +334,7 @@ Variable StackRows(const std::vector<Variable>& rows) {
       if (!parents[i]->requires_grad) continue;
       Tensor g = o->grad.SliceRows(static_cast<int64_t>(i),
                                    static_cast<int64_t>(i) + 1);
+      // lint: allow(raw-resize): same-count rank fixup, copies
       parents[i]->AccumulateGrad(g.Reshape(parents[i]->value.shape()));
     }
   });
@@ -441,6 +444,7 @@ Variable RepeatRow(const Variable& a, int64_t n) {
   return MakeOp("RepeatRow", std::move(out), {a}, [an](Node* o) {
     if (!an->requires_grad) return;
     Tensor g = embsr::SumRowsTo1xD(o->grad);
+    // lint: allow(raw-resize): same-count rank fixup, copies
     an->AccumulateGrad(g.Reshape(an->value.shape()));
   });
 }

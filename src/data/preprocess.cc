@@ -184,7 +184,7 @@ Result<ProcessedDataset> Preprocess(const std::vector<Session>& sessions,
 
 BatchIterator::BatchIterator(size_t n, size_t batch_size, Rng* rng)
     : batch_size_(batch_size == 0 ? 1 : batch_size) {
-  order_.resize(n);
+  order_.resize(n);  // lint: allow(raw-resize): index permutation
   for (size_t i = 0; i < n; ++i) order_[i] = i;
   if (rng != nullptr) rng->Shuffle(&order_);
 }

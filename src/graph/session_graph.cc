@@ -18,7 +18,9 @@ SessionMultigraph SessionMultigraph::Build(
     if (inserted) g.nodes_.push_back(item);
     g.alias_.push_back(it->second);
   }
+  // lint: allow(raw-resize): adjacency lists sized after node dedup
   g.in_edges_.resize(g.nodes_.size());
+  // lint: allow(raw-resize): adjacency lists sized after node dedup
   g.out_edges_.resize(g.nodes_.size());
   for (size_t i = 0; i + 1 < macro_items.size(); ++i) {
     Edge e;

@@ -34,7 +34,7 @@ std::vector<int64_t> TopKIndices(const std::vector<float>& scores, size_t k) {
   if (k < n) {
     std::nth_element(idx.begin(), idx.begin() + static_cast<int64_t>(k),
                      idx.end(), better);
-    idx.resize(k);
+    idx.resize(k);  // lint: allow(raw-resize): top-k truncation
   }
   std::sort(idx.begin(), idx.end(), better);
   return idx;

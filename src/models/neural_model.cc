@@ -69,6 +69,7 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
       static_cast<int>(train.size()) > cfg_.max_train_examples) {
     Rng subsample_rng(DeriveSeed(cfg_.seed, kSubsampleSalt));
     subsample_rng.Shuffle(&train);
+    // lint: allow(raw-resize): post-shuffle subsample truncation
     train.resize(cfg_.max_train_examples);
   }
 

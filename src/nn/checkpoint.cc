@@ -157,6 +157,7 @@ Status ReadTrainState(ByteReader* r, TrainState* st) {
   uint32_t best_count = 0;
   s = r->ReadPod(&best_count, "best-params count");
   if (!s.ok()) return s;
+  // lint: allow(raw-resize): count-prefixed deserialization buffer
   st->best_params.resize(best_count);
   for (auto& t : st->best_params) {
     s = ReadTensorInto(r, &t, "best-params tensor");
@@ -172,6 +173,7 @@ Status ReadTrainState(ByteReader* r, TrainState* st) {
         "corrupt checkpoint: implausible optimizer scalar count at offset " +
         std::to_string(r->offset()));
   }
+  // lint: allow(raw-resize): count-prefixed deserialization buffer
   st->opt_scalars.resize(scalar_count);
   for (auto& v : st->opt_scalars) {
     s = r->ReadPod(&v, "optimizer scalar");
@@ -185,6 +187,7 @@ Status ReadTrainState(ByteReader* r, TrainState* st) {
         "corrupt checkpoint: implausible optimizer slot count at offset " +
         std::to_string(r->offset()));
   }
+  // lint: allow(raw-resize): count-prefixed deserialization buffer
   st->opt_slots.resize(slot_count);
   for (auto& t : st->opt_slots) {
     s = ReadTensorInto(r, &t, "optimizer slot");

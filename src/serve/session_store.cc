@@ -242,6 +242,7 @@ Status SessionStore::LoadSnapshot(const std::string& path) {
     SessionState state;
     s = r.ReadI64Vec(&state.macro_items, kMaxEventsPerSession, "macro items");
     if (!s.ok()) return s;
+    // lint: allow(raw-resize): per-item op lists sized from wire count
     state.macro_ops.resize(state.macro_items.size());
     for (auto& ops : state.macro_ops) {
       s = r.ReadI64Vec(&ops, kMaxEventsPerSession, "macro ops");

@@ -28,6 +28,7 @@ std::vector<int64_t> ElementsToCheck(int64_t size, int max_per_leaf,
   std::vector<int64_t> all(static_cast<size_t>(size));
   std::iota(all.begin(), all.end(), 0);
   rng->Shuffle(&all);
+  // lint: allow(raw-resize): post-shuffle subsample truncation
   all.resize(static_cast<size_t>(max_per_leaf));
   std::sort(all.begin(), all.end());
   return all;

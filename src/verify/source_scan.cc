@@ -84,6 +84,14 @@ std::vector<std::string> CoveredOpCostNames(const std::string& op_costs_cc) {
   return MatchAll(op_costs_cc, kCostMarker);
 }
 
+std::vector<std::string> CoveredShapeRuleNames(
+    const std::string& shape_rules_cc) {
+  // The quoted-string argument distinguishes marker uses from the macro's
+  // own #define line (whose argument is the bare token `name`).
+  static const std::regex kShapeMarker(R"rx(EMBSR_SHAPE_RULE\("([^"]+)"\))rx");
+  return MatchAll(shape_rules_cc, kShapeMarker);
+}
+
 Result<std::vector<std::string>> ScanOpNames(const std::string& repo_root) {
   return ScanFile(repo_root + "/src/autograd/ops.h", &DeclaredOpNames);
 }
@@ -118,6 +126,12 @@ Result<std::vector<std::string>> ScanOpCostCoverage(
     const std::string& repo_root) {
   return ScanFile(repo_root + "/src/autograd/op_costs.cc",
                   &CoveredOpCostNames);
+}
+
+Result<std::vector<std::string>> ScanShapeRuleCoverage(
+    const std::string& repo_root) {
+  return ScanFile(repo_root + "/src/analyze/shape_rules.cc",
+                  &CoveredShapeRuleNames);
 }
 
 }  // namespace verify

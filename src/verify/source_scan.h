@@ -52,6 +52,12 @@ std::vector<std::string> CoveredModelAuditNames(
 /// marker. Sorted, unique.
 std::vector<std::string> CoveredOpCostNames(const std::string& op_costs_cc);
 
+/// Op names carrying a registered static shape rule in
+/// src/analyze/shape_rules.cc, i.e. every `EMBSR_SHAPE_RULE("Name")`
+/// coverage marker. Sorted, unique.
+std::vector<std::string> CoveredShapeRuleNames(
+    const std::string& shape_rules_cc);
+
 /// Convenience: reads and scans the named files under `repo_root`
 /// (src/autograd/ops.h, src/nn/layers.h, src/train/model_zoo.cc,
 /// src/tensor/tensor.h, tests/kernel_equiv_test.cc,
@@ -66,6 +72,8 @@ Result<std::vector<std::string>> ScanKernelEquivCoverage(
 Result<std::vector<std::string>> ScanModelAuditCoverage(
     const std::string& repo_root);
 Result<std::vector<std::string>> ScanOpCostCoverage(
+    const std::string& repo_root);
+Result<std::vector<std::string>> ScanShapeRuleCoverage(
     const std::string& repo_root);
 
 }  // namespace verify
