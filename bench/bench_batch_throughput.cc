@@ -1,0 +1,80 @@
+// Batched-execution throughput: sessions/sec and per-forward step time of
+// the three genuinely batched models (GRU4Rec, STAMP, EMBSR) at forward
+// batch sizes 1, 8, 32 and 128, via the EMBSR_BATCH_SIZE evaluator path.
+//
+// Batch 1 is the legacy per-session loop, so the table reads directly as
+// "what did batching buy". The win does not need multiple cores: the
+// per-session path re-materializes the [d, V] item-table transpose and
+// re-runs the decode GEMM once per session, while the batched path does
+// both once per forward-batch. On multi-core hosts sessions/sec must be
+// monotonically non-decreasing from batch 1 to 32 (the perf_regression
+// BatchEquivPerf test pins a 2x floor at batch 32).
+//
+// Writes the BENCH_batch_throughput.json sidecar with
+// `sessions_per_sec/<model>/b<batch>` and `step_ms/<model>/b<batch>`
+// scalars; scripts/bench_history.py `check` treats a drop in any
+// sessions_per_sec scalar beyond threshold as a regression.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "models/neural_model.h"
+#include "train/evaluator.h"
+#include "train/model_zoo.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace embsr;         // NOLINT — bench binary
+  using namespace embsr::bench;  // NOLINT
+  PrintHeader("Batched-execution throughput (sessions/sec vs. batch size)",
+              "infrastructure bench (no paper table); batching per "
+              "GRU4Rec session-parallel mini-batches, arXiv 1511.06939",
+              "untrained weights — scoring cost is parameter-independent; "
+              "batch 1 is the legacy per-session path");
+  BenchReport report("batch_throughput");
+
+  const ProcessedDataset data = LoadDataset("appliances");
+  const size_t eval_cap = static_cast<size_t>(256 * BenchScale());
+  const std::vector<int64_t> batches = {1, 8, 32, 128};
+  TrainConfig cfg;
+  cfg.embedding_dim = 32;
+  cfg.seed = 7;
+
+  std::printf("%-10s %8s %14s %12s\n", "model", "batch", "sessions/sec",
+              "step_ms");
+  for (const char* name : {"GRU4Rec", "STAMP", "EMBSR"}) {
+    std::unique_ptr<Recommender> model =
+        CreateModel(name, data.num_items, data.num_operations, cfg);
+    EMBSR_CHECK(model != nullptr);
+    model->EnsureEvalMode();
+    for (const int64_t b : batches) {
+      const std::string bs = std::to_string(b);
+      setenv("EMBSR_BATCH_SIZE", bs.c_str(), 1);
+      // Warmup pass: page in the item table, spin up pool lanes.
+      (void)Evaluate(model.get(), data.test, {20},
+                     std::min<size_t>(eval_cap, 32));
+      WallTimer timer;
+      const EvalResult r =
+          Evaluate(model.get(), data.test, {20}, eval_cap);
+      const double wall = timer.ElapsedSeconds();
+      const double n = static_cast<double>(r.ranks.size());
+      EMBSR_CHECK(n > 0);
+      const double sessions_per_sec = n / wall;
+      const double num_steps =
+          (n + static_cast<double>(b) - 1.0) / static_cast<double>(b);
+      const double step_ms = wall * 1e3 / num_steps;
+      std::printf("%-10s %8lld %14.1f %12.3f\n", name,
+                  static_cast<long long>(b), sessions_per_sec, step_ms);
+      report.AddScalar("sessions_per_sec/" + std::string(name) + "/b" + bs,
+                       sessions_per_sec);
+      report.AddScalar("step_ms/" + std::string(name) + "/b" + bs, step_ms);
+    }
+  }
+  unsetenv("EMBSR_BATCH_SIZE");
+  return 0;
+}

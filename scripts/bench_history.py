@@ -26,6 +26,10 @@ against the previous entry with the same threshold: planned memory is
 deterministic, so growth past the threshold is a real graph change, not
 noise — and unlike wall time it is not gated on --min-seconds.
 
+Throughput scalars run the check in the inverse direction: for every
+`sessions_per_sec*` scalar (BENCH_batch_throughput.json) a *drop* beyond
+the threshold is the regression, since higher is better there.
+
 Exit codes: 0 clean, 1 regression found (check), 2 usage/IO error.
 Stdlib only.
 """
@@ -201,6 +205,20 @@ def check_entries(entries, max_regress_pct, min_seconds):
                 regressions.append(
                     f"{name}: {key} {sb:.0f} -> {sc:.0f} ({pct:+.1f}% > "
                     f"{max_regress_pct:.0f}%)")
+        # Throughput scalars regress in the *inverse* direction: a drop in
+        # sessions/sec beyond the threshold means the batched path slowed.
+        for key in sorted(cur_scalars):
+            if not key.startswith("sessions_per_sec"):
+                continue
+            sb, sc = base_scalars.get(key), cur_scalars[key]
+            if not isinstance(sb, (int, float)) or sb <= 0 \
+                    or not isinstance(sc, (int, float)):
+                continue
+            pct = (1.0 - sc / sb) * 100.0
+            if pct > max_regress_pct:
+                regressions.append(
+                    f"{name}: {key} {sb:.1f} -> {sc:.1f} ({pct:.1f}% drop > "
+                    f"{max_regress_pct:.0f}%)")
     return regressions
 
 
@@ -326,6 +344,24 @@ def self_test():
             "planned_peak_bytes/EMBSR"] = 1040.0
         if check_entries(grown, 50.0, 0.05):
             failures.append("steady planned peak flagged as regression")
+
+        # A sessions/sec *drop* is a regression (inverse direction)...
+        slowed = [
+            {"commit": "x", "benches": {"batch_throughput": {
+                "wall_seconds": 0.01, "threads": 1, "bench_scale": 1.0,
+                "scalars": {"sessions_per_sec/EMBSR/b32": 1000.0}}}},
+            {"commit": "y", "benches": {"batch_throughput": {
+                "wall_seconds": 0.01, "threads": 1, "bench_scale": 1.0,
+                "scalars": {"sessions_per_sec/EMBSR/b32": 400.0}}}},
+        ]
+        regs = check_entries(slowed, 50.0, 0.05)
+        if not any("sessions_per_sec/EMBSR/b32" in r for r in regs):
+            failures.append(f"sessions/sec drop not flagged: {regs}")
+        # ...while a throughput *gain* of any size stays quiet.
+        slowed[1]["benches"]["batch_throughput"]["scalars"][
+            "sessions_per_sec/EMBSR/b32"] = 5000.0
+        if check_entries(slowed, 50.0, 0.05):
+            failures.append("sessions/sec gain flagged as regression")
 
         # Workload changes make entries incomparable, not regressions.
         rescaled = [

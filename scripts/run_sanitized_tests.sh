@@ -17,13 +17,15 @@
 # declarations, so it is deterministic at every thread count — the
 # EMBSR_THREADS=4 leg exercises the same contracts under a real pool.
 #
-# Each config runs four ctest legs: the full suite, the concurrency-
+# Each config runs five ctest legs: the full suite, the concurrency-
 # sensitive suites re-run under a forced EMBSR_THREADS=4 pool, the
 # prof/par/autograd suites re-run with EMBSR_PROF=1 EMBSR_THREADS=4 so the
 # embsr::prof attribution counters race under a real pool (and under TSan
-# in the `thread` config), and the ServeChaos smoke suite re-run with
+# in the `thread` config), the ServeChaos smoke suite re-run with
 # EMBSR_FAILPOINTS armed so the serving core's degraded/retry paths are
-# exercised under each sanitizer.
+# exercised under each sanitizer, and the BatchEquiv suite re-run with
+# EMBSR_BATCH_SIZE=16 x EMBSR_THREADS=4 so the batched trainer/evaluator
+# paths race under a real pool.
 #
 # Build dirs: build-<config> (override root with EMBSR_SAN_BUILD_DIR).
 # Logs: <build dir>/ctest-<config>.log.
@@ -142,6 +144,26 @@ for config in "${configs[@]}"; do
   else
     echo "=== [$config chaos] FAIL"
     failed+=("$config-chaos")
+  fi
+
+  # Fifth leg: batched execution. The BatchEquiv suite re-runs with an
+  # ambient EMBSR_BATCH_SIZE=16 and a forced 4-lane pool so the batched
+  # collator/forward/backward paths (and the Evaluator's batch scheduling)
+  # race under each sanitizer. The equivalence tests pin their own batch
+  # size via ScopedBatchSize, so the ambient value only steers the code
+  # paths that read the env default — notably Fit/Evaluate inside helpers
+  # that deliberately leave it unset.
+  batch_log="$build_dir/ctest-$config-batch.log"
+  echo "=== [$config] ctest EMBSR_BATCH_SIZE=16 EMBSR_THREADS=4" \
+       "(log: $batch_log)"
+  if (cd "$build_dir" && EMBSR_BATCH_SIZE=16 EMBSR_THREADS=4 ctest \
+        --output-on-failure \
+        -R '^BatchEquiv\.' \
+        2>&1 | tee "$batch_log"); then
+    echo "=== [$config batch] PASS"
+  else
+    echo "=== [$config batch] FAIL"
+    failed+=("$config-batch")
   fi
 done
 

@@ -41,6 +41,13 @@ runs the serving chaos driver at tiny scale under an EMBSR_FAILPOINTS spec
 fault phases) and validates the BENCH_serve_chaos.json sidecar it writes —
 the gate's proof that the serving core survives chaos end to end.
 
+With --batch-equiv BIN (CMake passes the built batch_equiv_test), also
+runs the batched-execution equivalence suite — EMBSR_BATCH_SIZE=1 bitwise
+vs. the legacy per-session path, batch-{4,16} forward memcmp + tolerance
+training, ragged-edge masks, batched tape audits across the zoo — as a
+gate stage. Every test in the suite pins EMBSR_BATCH_SIZE itself, so the
+stage is meaningful under any ambient environment.
+
 Exits non-zero on the first failing stage. Stdlib only.
 """
 
@@ -93,6 +100,10 @@ def main():
                              "when given, run it at tiny scale under an "
                              "EMBSR_FAILPOINTS chaos spec and validate the "
                              "BENCH_serve_chaos.json it emits")
+    parser.add_argument("--batch-equiv", metavar="BIN", default=None,
+                        help="path to the built batch_equiv_test binary; "
+                             "when given, run the batched-execution "
+                             "equivalence suite as a gate stage")
     args = parser.parse_args()
     root = os.path.abspath(args.repo_root)
     scripts = os.path.join(root, "scripts")
@@ -151,6 +162,10 @@ def main():
              "--run", args.serve_bench],
             "serve chaos bench (faults injected, JSON validated)",
             extra_env=SERVE_CHAOS_ENV)
+
+    if args.batch_equiv:
+        run([args.batch_equiv],
+            "batch equivalence (batched vs legacy execution)")
 
     print("verify_gate: OK")
     return 0

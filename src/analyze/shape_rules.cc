@@ -268,6 +268,27 @@ std::map<std::string, ShapeRule> BuildRules() {
     if (Out(n)[0] < 1) return Fail(n, "output must gather at least one row");
     return "";
   });
+  // The mask is an op attribute (invisible here); both inputs and the
+  // output must agree exactly.
+  EMBSR_SHAPE_RULE("SelectRowsByMask") {
+    if (std::string e = WantArity(n, 2); !e.empty()) return e;
+    if (!Rank2(Out(n))) return Fail(n, "output must be rank 2");
+    if (Out(n) != In(n, 0) || Out(n) != In(n, 1)) {
+      return Fail(n, "output must match both input shapes");
+    }
+    return "";
+  });
+  // Segment ids are invisible; the segment count is whatever was asked for,
+  // but the column width must survive the reduction.
+  EMBSR_SHAPE_RULE("SegmentSumRows") {
+    if (std::string e = WantArity(n, 1); !e.empty()) return e;
+    if (!Rank2(In(n, 0))) return Fail(n, "input must be rank 2");
+    if (!Rank2(Out(n)) || Out(n)[1] != In(n, 0)[1]) {
+      return Fail(n, "output must keep the input's column count");
+    }
+    if (Out(n)[0] < 1) return Fail(n, "output must have at least one segment");
+    return "";
+  });
   EMBSR_SHAPE_RULE("RepeatRow") {
     if (std::string e = WantArity(n, 1); !e.empty()) return e;
     const int64_t d = RowWidth(In(n, 0));

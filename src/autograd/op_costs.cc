@@ -140,6 +140,15 @@ void RegisterOpCostModels() {
     EMBSR_OP_COST("RepeatRow") {
       return {0.0, kB * In(s, 0), kB * Out(s)};
     });
+    // Row select: pure copies; reads one source row per output row plus the
+    // [n, 1] mask column.
+    EMBSR_OP_COST("SelectRowsByMask") {
+      return {0.0, kB * (Out(s) + Out(s) / OutLastDim(s)), kB * Out(s)};
+    });
+    // Segment sum: one add per input element into the zeroed output.
+    EMBSR_OP_COST("SegmentSumRows") {
+      return {In(s, 0), kB * In(s, 0), kB * Out(s)};
+    });
 
     // -- Row reductions / normalizations --------------------------------------
     // Softmax: max + subtract + exp(4) + sum + divide = 8 passes-worth.

@@ -367,6 +367,37 @@ Variable GatherRows(const Variable& table,
                 });
 }
 
+Variable SelectRowsByMask(const Variable& a, const Variable& b,
+                          const Tensor& mask) {
+  Tensor y = embsr::SelectRowsByMask(a.value(), b.value(), mask);
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp("SelectRowsByMask", std::move(y), {a, b},
+                [an, bn, mask](Node* out) {
+                  const Tensor zero(out->grad.shape());
+                  if (an->requires_grad) {
+                    an->AccumulateGrad(
+                        embsr::SelectRowsByMask(out->grad, zero, mask));
+                  }
+                  if (bn->requires_grad) {
+                    bn->AccumulateGrad(
+                        embsr::SelectRowsByMask(zero, out->grad, mask));
+                  }
+                });
+}
+
+Variable SegmentSumRows(const Variable& a,
+                        const std::vector<int64_t>& segments,
+                        int64_t num_segments) {
+  Tensor y = embsr::SegmentSumRows(a.value(), segments, num_segments);
+  auto an = a.node();
+  return MakeOp("SegmentSumRows", std::move(y), {a},
+                [an, segments](Node* out) {
+                  if (!an->requires_grad) return;
+                  an->AccumulateGrad(embsr::GatherRows(out->grad, segments));
+                });
+}
+
 Variable RowSoftmaxMasked(const Variable& a, const Tensor& mask) {
   Tensor y = embsr::RowSoftmaxMasked(a.value(), mask);
   auto an = a.node();

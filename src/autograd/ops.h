@@ -55,6 +55,21 @@ Variable Row(const Variable& a, int64_t r);
 /// Embedding lookup: rows of `table` ([v, d]) at `indices`.
 Variable GatherRows(const Variable& table, const std::vector<int64_t>& indices);
 
+/// Row-wise bitwise select between same-shape a and b: output row i is a's
+/// where mask[i] != 0, else b's. `mask` ([n, 1] or rank-1 [n]) is an op
+/// attribute, not a differentiable input. Gradients route to the selected
+/// side only — the unselected side's rows receive exactly zero, which is how
+/// the batched GRU keeps padded steps out of the gradient entirely.
+Variable SelectRowsByMask(const Variable& a, const Variable& b,
+                          const Tensor& mask);
+
+/// Segment sum over rows: out[segments[i]] += a[i], [n, d] ->
+/// [num_segments, d], accumulating in ascending row order. The transpose of
+/// GatherRows; backward gathers output grads back through `segments`.
+Variable SegmentSumRows(const Variable& a,
+                        const std::vector<int64_t>& segments,
+                        int64_t num_segments);
+
 /// Row-wise softmax. `mask` (same shape, 0/1) marks valid entries; fully
 /// masked rows come out as all-zero. Pass an all-ones mask for plain softmax.
 Variable RowSoftmaxMasked(const Variable& a, const Tensor& mask);

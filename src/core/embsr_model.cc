@@ -148,7 +148,12 @@ void EmbsrModel::RunGnn(const Example& ex,
   }
 
   // Sequential encodings h~^i of each macro position's operation run.
-  Variable h_seq = cfg_.use_op_gru_edges
+  // Only edges consume them (Eq. 5–6), so a single-item session — whose
+  // multigraph has no edges — skips the micro GRU entirely instead of
+  // growing an orphaned subgraph (no RNG is drawn on this path, so the
+  // skip is bitwise-neutral for every session that does have edges).
+  const bool has_edges = !graph.edges().empty();
+  Variable h_seq = cfg_.use_op_gru_edges && has_edges
                        ? EncodeOpSequences(macro_ops)
                        : Constant(Tensor::Zeros({n, d}));
 
@@ -165,7 +170,6 @@ void EmbsrModel::RunGnn(const Example& ex,
     out_ord.push_back(e.order + 1);
     out_src_nodes.push_back(e.src);
   }
-  const bool has_edges = !graph.edges().empty();
   Tensor s_in = has_edges ? ScatterMatrix(c, in_dst_nodes) : Tensor();
   Tensor s_out = has_edges ? ScatterMatrix(c, out_src_nodes) : Tensor();
 
@@ -216,7 +220,7 @@ void EmbsrModel::RunGnn(const Example& ex,
   *star = star_v;
 }
 
-Variable EmbsrModel::Logits(const Example& ex) {
+Variable EmbsrModel::SessionRepr(const Example& ex) {
   EMBSR_TIMED_SPAN("embsr/logits", "model/forward_ms");
   using namespace ag;  // NOLINT
   const int64_t d = config().embedding_dim;
@@ -339,11 +343,27 @@ Variable EmbsrModel::Logits(const Example& ex) {
   } else {
     m = fusion_.Forward(ConcatCols(z_s, x_t));  // EMBSR-NF MLP
   }
+  return m;
+}
 
+Variable EmbsrModel::DecodeRepr(const Variable& m) {
+  using namespace ag;  // NOLINT
   // Normalized scoring (Eq. 19).
   Variable m_hat = Scale(L2NormalizeRowsOp(m), cfg_.wk);
   Variable items_norm = L2NormalizeRowsOp(items_.table());
   return MatMul(m_hat, Transpose(items_norm));
+}
+
+Variable EmbsrModel::Logits(const Example& ex) {
+  return DecodeRepr(SessionRepr(ex));
+}
+
+Variable EmbsrModel::BatchedLogits(const SessionBatch& batch) {
+  using namespace ag;  // NOLINT
+  std::vector<Variable> reprs;
+  reprs.reserve(batch.examples.size());
+  for (const Example* ex : batch.examples) reprs.push_back(SessionRepr(*ex));
+  return DecodeRepr(reprs.size() == 1 ? reprs[0] : StackRows(reprs));
 }
 
 EmbsrConfig EmbsrVariants::Full() { return {}; }

@@ -69,7 +69,21 @@ class EmbsrModel : public NeuralSessionModel {
  protected:
   ag::Variable Logits(const Example& ex) override;
 
+  /// Batched decode: the per-session pipeline up to the fused session
+  /// representation stays serial (each session owns its own multigraph),
+  /// but the normalized-scoring stage — the L2 normalizations, the w_k
+  /// scale and the [B, d] x [d, V] decode GEMM that dominates the forward —
+  /// runs once over the stacked representations. Bit-identical to Logits
+  /// row-wise because every decode op is row-independent.
+  ag::Variable BatchedLogits(const SessionBatch& batch) override;
+
  private:
+  /// The fused session representation m ([1, d], Eq. 18) — Logits minus
+  /// the normalized-scoring stage.
+  ag::Variable SessionRepr(const Example& ex);
+
+  /// Normalized scoring (Eq. 19) over [n, d] session representations.
+  ag::Variable DecodeRepr(const ag::Variable& m);
   /// Runs the star-multigraph GNN; returns final satellite states h^f
   /// ([c, d], rows indexed like graph nodes) and the final star node
   /// ([1, d]) through the output parameters.

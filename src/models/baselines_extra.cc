@@ -41,6 +41,15 @@ Variable Gru4Rec::Logits(const Example& ex) {
   return MatMul(h, Transpose(items_.table()));
 }
 
+Variable Gru4Rec::BatchedLogits(const SessionBatch& batch) {
+  using namespace ag;  // NOLINT
+  Variable x = items_.Forward(batch.time_major_items);  // [T*B, d]
+  x = Dropout(x, config().dropout, training(), rng());
+  Variable h = gru_.ForwardBatchedLast(x, batch.batch, batch.step_masks,
+                                       batch.step_all_valid);  // [B, d]
+  return MatMul(h, Transpose(items_.table()));
+}
+
 // -- FPMC -----------------------------------------------------------------------
 
 Fpmc::Fpmc(int64_t num_items, int64_t num_operations, const TrainConfig& cfg)

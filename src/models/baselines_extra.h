@@ -22,6 +22,11 @@ class Gru4Rec : public NeuralSessionModel {
  protected:
   ag::Variable Logits(const Example& ex) override;
 
+  /// Session-parallel batched forward: one embedding gather over the
+  /// padded time-major items, one masked GRU unroll, one decode GEMM
+  /// against the item table (transposed once per batch, not per session).
+  ag::Variable BatchedLogits(const SessionBatch& batch) override;
+
  private:
   nn::Embedding items_;
   nn::GRU gru_;

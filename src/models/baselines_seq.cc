@@ -104,6 +104,36 @@ Variable Stamp::Logits(const Example& ex) {
   return MatMul(rep, Transpose(items_.table()));
 }
 
+Variable Stamp::BatchedLogits(const SessionBatch& batch) {
+  EMBSR_TIMED_SPAN("stamp/logits", "model/forward_ms");
+  using namespace ag;  // NOLINT
+  Variable x = items_.Forward(batch.flat_items);  // [N, d], no padding
+  x = Dropout(x, config().dropout, training(), rng());
+  Variable x_t = GatherRows(x, batch.last_row_index);  // [B, d]
+  // Per-session mean: segment sums accumulate each session's contiguous
+  // rows in the same ascending order SumRowsTo1xD takes, and the 1/len
+  // column is the exact factor MeanRowsTo1xD scales by.
+  Variable m_s = MulColBroadcast(
+      SegmentSumRows(x, batch.segment_ids, batch.batch),
+      Constant(batch.inv_len_col));  // [B, d]
+  // The legacy RepeatRow-to-session-length broadcasts become row gathers
+  // through segment_ids.
+  Variable pre = AddRowBroadcast(
+      Add(w1_.Forward(x),
+          Add(GatherRows(w2_.Forward(x_t), batch.segment_ids),
+              GatherRows(w3_.Forward(m_s), batch.segment_ids))),
+      ba_);
+  Variable att = MatMul(Sigmoid(pre), w0_);  // [N, 1]
+  // att^T x per session: the weighted rows sum in the same ascending-k
+  // order the legacy [1, t] x [t, d] MatMul uses.
+  Variable m_a = SegmentSumRows(MulColBroadcast(x, att), batch.segment_ids,
+                                batch.batch);  // [B, d]
+  Variable h_s = Tanh(mlp_s_.Forward(m_a));
+  Variable h_t = Tanh(mlp_t_.Forward(x_t));
+  Variable rep = Mul(h_s, h_t);
+  return MatMul(rep, Transpose(items_.table()));
+}
+
 // -- RIB ----------------------------------------------------------------------
 
 Rib::Rib(int64_t num_items, int64_t num_operations, const TrainConfig& cfg)

@@ -35,6 +35,11 @@ class Stamp : public NeuralSessionModel {
  protected:
   ag::Variable Logits(const Example& ex) override;
 
+  /// Batched forward over the collator's session-major flat layout: no
+  /// padding exists, the per-session mean and attention sums reduce with
+  /// SegmentSumRows, and the decode GEMM runs once per batch.
+  ag::Variable BatchedLogits(const SessionBatch& batch) override;
+
  private:
   nn::Embedding items_;
   nn::Linear w1_, w2_, w3_;

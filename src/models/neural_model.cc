@@ -78,6 +78,11 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
   optim::StepDecaySchedule schedule(cfg_.lr, cfg_.lr_decay_step,
                                     cfg_.lr_decay_gamma);
   const float inv_batch = 1.0f / static_cast<float>(cfg_.batch_size);
+  // EMBSR_BATCH_SIZE > 1 groups each gradient-accumulation mini-batch into
+  // collated forward-batches; the default 1 keeps the legacy per-example
+  // loop below, byte for byte.
+  const size_t forward_batch =
+      static_cast<size_t>(ForwardBatchSizeFromEnv());
 
   double best_mrr = -1.0;
   std::vector<Tensor> best_params;
@@ -166,14 +171,33 @@ Status NeuralSessionModel::Fit(const ProcessedDataset& data) {
           std::min(begin + cfg_.batch_size, order.size());
       opt.ZeroGrad();
       double batch_loss = 0.0;
-      for (size_t i = begin; i < end; ++i) {
-        // One profiler step = one example's forward + backward; the per-op
-        // attributed times must sum to this span (prof_test pins it).
-        prof::StepScope prof_step;
-        ag::Variable loss = LossOn(*order[i]);
-        batch_loss += loss.value().at(0);
-        // Scale so accumulated gradients equal the batch-mean gradient.
-        ag::Scale(loss, inv_batch).Backward();
+      if (forward_batch > 1) {
+        for (size_t i = begin; i < end; i += forward_batch) {
+          const size_t sub_end = std::min(i + forward_batch, end);
+          // One profiler step = one forward-batch's forward + backward.
+          prof::StepScope prof_step;
+          const std::vector<const Example*> chunk(
+              order.begin() + static_cast<ptrdiff_t>(i),
+              order.begin() + static_cast<ptrdiff_t>(sub_end));
+          const SessionBatch sb = CollateSessions(chunk, cfg_.max_positions);
+          ag::Variable loss = BatchedLossOn(sb);
+          const float chunk_n = static_cast<float>(sub_end - i);
+          // BatchedLossOn is the chunk *mean*; batch_loss accumulates
+          // per-example sums, and the backward scale re-weights the mean
+          // so accumulated gradients equal the batch-mean gradient.
+          batch_loss += static_cast<double>(loss.value().at(0)) * chunk_n;
+          ag::Scale(loss, chunk_n * inv_batch).Backward();
+        }
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          // One profiler step = one example's forward + backward; the per-op
+          // attributed times must sum to this span (prof_test pins it).
+          prof::StepScope prof_step;
+          ag::Variable loss = LossOn(*order[i]);
+          batch_loss += loss.value().at(0);
+          // Scale so accumulated gradients equal the batch-mean gradient.
+          ag::Scale(loss, inv_batch).Backward();
+        }
       }
       const int64_t batch_examples = static_cast<int64_t>(end - begin);
 
@@ -310,6 +334,50 @@ ag::Variable NeuralSessionModel::LossOn(const Example& ex) {
   ag::Variable logits = Logits(ex);
   prof::ComponentScope prof_component("loss");
   return ag::SoftmaxCrossEntropy(logits, {ex.target});
+}
+
+ag::Variable NeuralSessionModel::BatchedLogits(const SessionBatch& batch) {
+  std::vector<ag::Variable> rows;
+  rows.reserve(batch.examples.size());
+  for (const Example* ex : batch.examples) rows.push_back(Logits(*ex));
+  return rows.size() == 1 ? rows[0] : ag::StackRows(rows);
+}
+
+ag::Variable NeuralSessionModel::BatchedLossOn(const SessionBatch& batch) {
+  // Same model-edge contract as LossOn: targets are only ever used as
+  // logits columns, so bounds-check them here.
+  // Indexed loop: EMBSR_CHECK_BOUNDS compiles to ((void)0) in
+  // non-contracts builds, which would leave a range-for binding unused.
+  for (size_t i = 0; i < batch.targets.size(); ++i) {
+    EMBSR_CHECK_BOUNDS(batch.targets[i], 0, num_items_);
+  }
+  ag::Variable logits = BatchedLogits(batch);
+  prof::ComponentScope prof_component("loss");
+  return ag::SoftmaxCrossEntropy(logits, batch.targets);
+}
+
+std::vector<std::vector<float>> NeuralSessionModel::ScoreBatch(
+    const std::vector<const Example*>& examples) {
+  EMBSR_TIMED_SPAN("model/score_batch", "model/score_batch_ms");
+  prof::Collector::MarkThisThread();
+  const SessionBatch batch = CollateSessions(examples, cfg_.max_positions);
+  // Mirror ScoreAll's mode handling: only toggle the training flag when
+  // set, so concurrent eval-mode calls stay read-only.
+  const bool was_training = training();
+  if (was_training) SetTraining(false);
+  ag::Variable logits = BatchedLogits(batch);
+  if (was_training) SetTraining(true);
+  const Tensor& v = logits.value();
+  EMBSR_CHECK_EQ(v.rows(), batch.batch);
+  EMBSR_CHECK_EQ(v.cols(), num_items_);
+  const std::vector<float>& flat = v.vec();
+  std::vector<std::vector<float>> out(examples.size());
+  for (size_t i = 0; i < examples.size(); ++i) {
+    const auto begin =
+        flat.begin() + static_cast<int64_t>(i) * num_items_;
+    out[i].assign(begin, begin + num_items_);
+  }
+  return out;
 }
 
 std::vector<float> NeuralSessionModel::ScoreAll(const Example& ex) {

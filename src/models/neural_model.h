@@ -6,6 +6,7 @@
 
 #include "autograd/ops.h"
 #include "models/recommender.h"
+#include "models/session_batch.h"
 #include "nn/module.h"
 #include "util/rng.h"
 
@@ -40,6 +41,20 @@ class NeuralSessionModel : public Recommender, public nn::Module {
   /// (src/verify gradcheck) can check d(loss)/d(parameters) end-to-end.
   ag::Variable LossOn(const Example& ex);
 
+  /// Differentiable *mean* loss over a collated forward-batch: softmax
+  /// cross-entropy of BatchedLogits against the batch's targets, averaged
+  /// over its sessions. Scale(BatchedLossOn(b), b.batch / batch_size) backs
+  /// the same accumulated gradient the per-example loop produces. Public
+  /// for the same verifier reason as LossOn.
+  ag::Variable BatchedLossOn(const SessionBatch& batch);
+
+  /// Scores every session of `examples` through one batched forward
+  /// (eval-mode logits, row per session). In eval mode this is read-only
+  /// like ScoreAll, so evaluator threads may score disjoint batches
+  /// concurrently.
+  std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<const Example*>& examples);
+
   const TrainConfig& config() const { return cfg_; }
   int64_t num_items() const { return num_items_; }
   int64_t num_operations() const { return num_operations_; }
@@ -47,6 +62,15 @@ class NeuralSessionModel : public Recommender, public nn::Module {
  protected:
   /// Unnormalized scores over all items for one example, differentiable.
   virtual ag::Variable Logits(const Example& ex) = 0;
+
+  /// Unnormalized scores [batch, num_items] for a collated batch,
+  /// differentiable. The default stacks per-session Logits rows — correct
+  /// for every model, so the batched trainer/evaluator work zoo-wide —
+  /// while models with genuinely batched kernels (GRU4Rec, STAMP, EMBSR)
+  /// override it. Overrides must return row i bit-identical to
+  /// Logits(*batch.examples[i]) when batch.batch == 1 (tests/
+  /// batch_equiv_test.cc holds them to it).
+  virtual ag::Variable BatchedLogits(const SessionBatch& batch);
 
   Rng* rng() { return &rng_; }
 

@@ -117,6 +117,31 @@ ag::Variable GRU::ForwardLast(const ag::Variable& xs) const {
   return ag::Row(all, t - 1);
 }
 
+ag::Variable GRU::ForwardBatchedLast(
+    const ag::Variable& xs, int64_t batch,
+    const std::vector<Tensor>& step_masks,
+    const std::vector<uint8_t>& step_all_valid) const {
+  EMBSR_CHECK_GT(batch, 0);
+  const int64_t rows = xs.value().dim(0);
+  EMBSR_CHECK_EQ(rows % batch, 0);
+  const int64_t t = rows / batch;
+  EMBSR_CHECK_GT(t, 0);
+  EMBSR_CHECK_EQ(static_cast<int64_t>(step_masks.size()), t);
+  EMBSR_CHECK_EQ(static_cast<int64_t>(step_all_valid.size()), t);
+  prof::ComponentScope prof_component("gru");
+  ag::Variable h = ag::Constant(Tensor::Zeros({batch, cell_.hidden_dim()}));
+  for (int64_t i = 0; i < t; ++i) {
+    ag::Variable h_new =
+        cell_.Forward(ag::SliceRows(xs, i * batch, (i + 1) * batch), h);
+    // Padded steps keep h by bitwise row copy; the blend is skipped
+    // entirely when every session is live at this step (always at batch 1).
+    h = step_all_valid[i] != 0
+            ? h_new
+            : ag::SelectRowsByMask(h_new, h, step_masks[i]);
+  }
+  return h;
+}
+
 // -- LayerNorm ----------------------------------------------------------------
 
 LayerNorm::LayerNorm(int64_t dim) {

@@ -81,6 +81,21 @@ class GRU : public Module {
   /// Convenience: just the final hidden state [1, hidden_dim].
   ag::Variable ForwardLast(const ag::Variable& xs) const;
 
+  /// Batched masked unroll over `batch` right-aligned (front-padded)
+  /// sequences in one time-major tensor: xs row t*batch + b is session b's
+  /// input at step t. `step_masks[t]` is a [batch, 1] 0/1 column marking
+  /// which sessions are live at step t; `step_all_valid[t]` short-circuits
+  /// the masked blend on steps where every session is live. Padded steps
+  /// update h by bitwise identity (SelectRowsByMask), so with front padding
+  /// the state stays exactly zero until a session starts and the returned
+  /// final state [batch, hidden_dim] is each session's last step — no
+  /// gather needed. At batch == 1 (never padded) this computes bit-for-bit
+  /// the same floats as ForwardLast.
+  ag::Variable ForwardBatchedLast(
+      const ag::Variable& xs, int64_t batch,
+      const std::vector<Tensor>& step_masks,
+      const std::vector<uint8_t>& step_all_valid) const;
+
   int64_t hidden_dim() const { return cell_.hidden_dim(); }
 
  private:

@@ -261,6 +261,37 @@ void ScatterAddRows(const Tensor& grad_rows,
   }
 }
 
+Tensor SelectRowsByMask(const Tensor& a, const Tensor& b, const Tensor& mask) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  EMBSR_CHECK(a.shape() == b.shape());
+  const int64_t n = a.dim(0), d = a.dim(1);
+  EMBSR_CHECK_EQ(mask.size(), n);
+  Tensor out({n, d});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* src = mask.data()[i] != 0.0f ? a.data() : b.data();
+    std::memcpy(out.data() + i * d, src + i * d, sizeof(float) * d);
+  }
+  return out;
+}
+
+Tensor SegmentSumRows(const Tensor& a, const std::vector<int64_t>& segments,
+                      int64_t num_segments) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  EMBSR_CHECK_EQ(a.dim(0), static_cast<int64_t>(segments.size()));
+  EMBSR_CHECK_GT(num_segments, 0);
+  const int64_t d = a.dim(1);
+  Tensor out({num_segments, d});
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const int64_t s = segments[i];
+    EMBSR_CHECK_GE(s, 0);
+    EMBSR_CHECK_LT(s, num_segments);
+    float* dst = out.data() + s * d;
+    const float* src = a.data() + static_cast<int64_t>(i) * d;
+    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+  return out;
+}
+
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   EMBSR_CHECK_EQ(a.ndim(), 2);
   EMBSR_CHECK_EQ(b.ndim(), 2);

@@ -42,6 +42,9 @@ Tensor RowLogSumExp(const Tensor& a);
 Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices);
 void ScatterAddRows(const Tensor& grad_rows,
                     const std::vector<int64_t>& indices, Tensor* grad_table);
+Tensor SelectRowsByMask(const Tensor& a, const Tensor& b, const Tensor& mask);
+Tensor SegmentSumRows(const Tensor& a, const std::vector<int64_t>& segments,
+                      int64_t num_segments);
 Tensor ConcatCols(const Tensor& a, const Tensor& b);
 Tensor ConcatRows(const Tensor& a, const Tensor& b);
 Tensor L2NormalizeRows(const Tensor& a, float eps = 1e-12f);

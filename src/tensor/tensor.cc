@@ -636,6 +636,57 @@ void ScatterAddRows(const Tensor& grad_rows,
   }
 }
 
+Tensor SelectRowsByMask(const Tensor& a, const Tensor& b, const Tensor& mask) {
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  EMBSR_CHECK(a.shape() == b.shape());
+  const int64_t n = a.dim(0), d = a.dim(1);
+  EMBSR_CHECK_EQ(mask.size(), n);
+  Tensor out({n, d});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const float* pm = mask.data();
+  float* po = out.data();
+  par::ForChecked(
+      "SelectRowsByMask", 0, n, RowGrain(d),
+      [&](int64_t lo, int64_t hi, par::AccessSet* acc) {
+        acc->Write(po, lo * d, hi * d);
+        acc->Read(pa, lo * d, hi * d);
+        acc->Read(pb, lo * d, hi * d);
+        acc->Read(pm, lo, hi);
+      },
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float* src = pm[i] != 0.0f ? pa : pb;
+          std::memcpy(po + i * d, src + i * d, sizeof(float) * d);
+        }
+      });
+  return out;
+}
+
+// SegmentSumRows stays serial for the same reason as ScatterAddRows:
+// repeated segment ids make output rows overlap across iterations. The
+// ascending-i accumulation order is part of the kernel's contract — with a
+// segment's rows contiguous, its output row adds up in exactly the order
+// SumRowsTo1xD would over that slice.
+Tensor SegmentSumRows(const Tensor& a, const std::vector<int64_t>& segments,
+                      int64_t num_segments) {
+  EMBSR_SENTINEL_SERIAL_REDUCTION("SegmentSumRows");
+  EMBSR_CHECK_EQ(a.ndim(), 2);
+  EMBSR_CHECK_EQ(a.dim(0), static_cast<int64_t>(segments.size()));
+  EMBSR_CHECK_GT(num_segments, 0);
+  const int64_t d = a.dim(1);
+  Tensor out({num_segments, d});
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const int64_t s = segments[i];
+    EMBSR_CHECK_GE(s, 0);
+    EMBSR_CHECK_LT(s, num_segments);
+    float* dst = out.data() + s * d;
+    const float* src = a.data() + static_cast<int64_t>(i) * d;
+    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+  return out;
+}
+
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   EMBSR_CHECK_EQ(a.ndim(), 2);
   EMBSR_CHECK_EQ(b.ndim(), 2);

@@ -201,6 +201,20 @@ Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices);
 void ScatterAddRows(const Tensor& grad_rows,
                     const std::vector<int64_t>& indices, Tensor* grad_table);
 
+/// Row-wise bitwise select: out row i is a's row i where mask[i] != 0, else
+/// b's row i. `mask` is [n, 1] (or rank-1 length-n); a and b are [n, d].
+/// Rows are copied, not blended, so the selected row is bit-identical to its
+/// source — the property the batched GRU's masked step updates rely on.
+Tensor SelectRowsByMask(const Tensor& a, const Tensor& b, const Tensor& mask);
+
+/// Segment sum over rows: out[segments[i]] += a[i] for each row i of a in
+/// ascending order, into a zeroed [num_segments, d] output. Each segment id
+/// must lie in [0, num_segments); empty segments stay zero. With rows of one
+/// segment contiguous and ascending, each output row accumulates in the same
+/// order as SumRowsTo1xD over that segment's slice.
+Tensor SegmentSumRows(const Tensor& a, const std::vector<int64_t>& segments,
+                      int64_t num_segments);
+
 /// Concatenates rank-2 tensors along columns ([n, d1] + [n, d2] -> [n, d1+d2]).
 Tensor ConcatCols(const Tensor& a, const Tensor& b);
 /// Concatenates rank-2 tensors along rows ([n1, d] + [n2, d] -> [n1+n2, d]).

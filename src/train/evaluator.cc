@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "models/neural_model.h"
+#include "models/session_batch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
@@ -42,13 +44,39 @@ EvalResult Evaluate(Recommender* model, const std::vector<Example>& test,
   // scores bit-identical to a serial evaluation.
   model->EnsureEvalMode();
   result.ranks.assign(n, 0);
-  par::For(0, static_cast<int64_t>(n), 1, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const Example& ex = test[static_cast<size_t>(i)];
-      const std::vector<float> scores = model->ScoreAll(ex);
-      result.ranks[static_cast<size_t>(i)] = RankOfTarget(scores, ex.target);
-    }
-  });
+  // EMBSR_BATCH_SIZE > 1 scores collated session batches instead of single
+  // examples — same slot-per-example merge, with each loop index owning one
+  // whole batch's worth of contiguous rank slots. The default 1 keeps the
+  // per-example path byte for byte.
+  const size_t forward_batch = static_cast<size_t>(ForwardBatchSizeFromEnv());
+  auto* neural = dynamic_cast<NeuralSessionModel*>(model);
+  if (neural != nullptr && forward_batch > 1) {
+    const int64_t num_batches =
+        static_cast<int64_t>((n + forward_batch - 1) / forward_batch);
+    par::For(0, num_batches, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t bi = lo; bi < hi; ++bi) {
+        const size_t begin = static_cast<size_t>(bi) * forward_batch;
+        const size_t end = std::min(begin + forward_batch, n);
+        std::vector<const Example*> chunk;
+        chunk.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) chunk.push_back(&test[i]);
+        const std::vector<std::vector<float>> scores =
+            neural->ScoreBatch(chunk);
+        for (size_t i = begin; i < end; ++i) {
+          result.ranks[i] =
+              RankOfTarget(scores[i - begin], test[i].target);
+        }
+      }
+    });
+  } else {
+    par::For(0, static_cast<int64_t>(n), 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const Example& ex = test[static_cast<size_t>(i)];
+        const std::vector<float> scores = model->ScoreAll(ex);
+        result.ranks[static_cast<size_t>(i)] = RankOfTarget(scores, ex.target);
+      }
+    });
+  }
   for (int rank : result.ranks) acc.Add(rank);
   const double seconds = timer.ElapsedSeconds();
   example_counter->Add(static_cast<int64_t>(n));

@@ -271,6 +271,35 @@ GradCheckResult CaseGatherRows() {
       leaves);
 }
 
+GradCheckResult CaseSelectRowsByMask() {
+  Rng rng(kCaseSeed);
+  std::vector<ag::Variable> leaves = {Leaf(Rand({5, 3}, &rng)),
+                                      Leaf(Rand({5, 3}, &rng))};
+  const Tensor w = Rand({5, 3}, &rng);
+  // Mixed mask: rows 0/2/4 select from a, rows 1/3 from b — each leaf must
+  // see gradient only on its selected rows and exact zero elsewhere.
+  const Tensor mask({5, 1}, {1, 0, 1, 0, 1});
+  return CheckGradients(
+      [w, mask](const std::vector<ag::Variable>& l) {
+        return WeightedSum(ag::SelectRowsByMask(l[0], l[1], mask), w);
+      },
+      leaves);
+}
+
+GradCheckResult CaseSegmentSumRows() {
+  Rng rng(kCaseSeed);
+  std::vector<ag::Variable> leaves = {Leaf(Rand({6, 3}, &rng))};
+  const Tensor w = Rand({4, 3}, &rng);
+  // Ragged contiguous segments with segment 3 empty: its output row (and
+  // the gathered backward) must be exactly zero.
+  const std::vector<int64_t> segments = {0, 0, 1, 2, 2, 2};
+  return CheckGradients(
+      [w, segments](const std::vector<ag::Variable>& l) {
+        return WeightedSum(ag::SegmentSumRows(l[0], segments, 4), w);
+      },
+      leaves);
+}
+
 GradCheckResult CaseRowSoftmaxMasked() {
   Rng rng(kCaseSeed);
   std::vector<ag::Variable> leaves = {Leaf(Rand({3, 4}, &rng))};
@@ -500,6 +529,8 @@ void RegisterBuiltinGradCheckCases() {
   Register("op", "SliceRows", &CaseSliceRows);
   Register("op", "Row", &CaseRow);
   Register("op", "GatherRows", &CaseGatherRows);
+  Register("op", "SelectRowsByMask", &CaseSelectRowsByMask);
+  Register("op", "SegmentSumRows", &CaseSegmentSumRows);
   Register("op", "RowSoftmaxMasked", &CaseRowSoftmaxMasked);
   Register("op", "RowSoftmax", &CaseRowSoftmax);
   Register("op", "SumAll", &CaseSumAll);

@@ -275,6 +275,36 @@ TEST_F(KernelEquivTest, GatherAndScatter) {
                          "ScatterAddRows");
 }
 
+TEST_F(KernelEquivTest, BatchedSelectAndSegmentSum) {
+  EMBSR_KERNEL_EQUIV(SelectRowsByMask);
+  EMBSR_KERNEL_EQUIV(SegmentSumRows);
+  for (const Shape2& s : RaggedShapes()) {
+    const Tensor a = Tensor::RandUniform({s.n, s.m}, -1.0f, 1.0f, &rng_);
+    const Tensor b = Tensor::RandUniform({s.n, s.m}, -1.0f, 1.0f, &rng_);
+    Tensor mask({s.n, 1});
+    for (int64_t i = 0; i < s.n; ++i) {
+      mask.data()[i] = rng_.Bernoulli(0.5) ? 1.0f : 0.0f;
+    }
+    CheckAtAllThreadCounts(tensor::ref::SelectRowsByMask(a, b, mask),
+                           [&] { return SelectRowsByMask(a, b, mask); },
+                           "SelectRowsByMask " + ShapeTag(s));
+
+    // Ragged segment map: contiguous runs of random length, plus one
+    // trailing empty segment — the shape the session collator emits.
+    std::vector<int64_t> segments(static_cast<size_t>(s.n));
+    int64_t seg = 0;
+    for (int64_t i = 0; i < s.n; ++i) {
+      segments[static_cast<size_t>(i)] = seg;
+      if (rng_.Bernoulli(0.4)) ++seg;
+    }
+    const int64_t num_segments = seg + 2;
+    CheckAtAllThreadCounts(
+        tensor::ref::SegmentSumRows(a, segments, num_segments),
+        [&] { return SegmentSumRows(a, segments, num_segments); },
+        "SegmentSumRows " + ShapeTag(s));
+  }
+}
+
 TEST_F(KernelEquivTest, Concats) {
   EMBSR_KERNEL_EQUIV(ConcatCols);
   EMBSR_KERNEL_EQUIV(ConcatRows);

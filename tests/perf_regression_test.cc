@@ -10,15 +10,20 @@
 // --run).
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "autograd/ops.h"
 #include "bench/bench_common.h"
+#include "datagen/generator.h"
 #include "gtest/gtest.h"
 #include "par/thread_pool.h"
 #include "prof/op_profiler.h"
 #include "tensor/tensor.h"
+#include "train/evaluator.h"
+#include "train/model_zoo.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -71,6 +76,60 @@ TEST(PerfRegression, ThreadedMatMulBeatsSerial) {
   EXPECT_GE(speedup, 1.5)
       << "threaded MatMul(256^3) regressed: serial=" << serial_ms
       << "ms pool=" << pool_ms << "ms at " << par::ThreadCount() << " lanes";
+}
+
+TEST(PerfRegression, BatchedEvalThroughputFloorAtBatch32) {
+  // The batched-execution floor (tentpole PR 9): evaluating GRU4Rec with
+  // EMBSR_BATCH_SIZE=32 must clear 2x the sessions/sec of the legacy
+  // per-session path on a multi-core host. Batching wins twice — the
+  // [d, V] decode transpose is materialized once per forward-batch instead
+  // of once per session, and 32 per-step GEMVs fuse into one GEMM — so
+  // the floor holds even though both paths fan out across the pool. Like
+  // the MatMul leg above, the BENCH_batch_smoke.json sidecar (with the
+  // sessions_per_sec scalars bench_history.py checks) is written before
+  // any skip.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  auto data = MakeDataset(JdAppliancesConfig(0.05));
+  ASSERT_TRUE(data.ok());
+  TrainConfig cfg;
+  cfg.embedding_dim = 32;
+  cfg.seed = 7;
+  std::unique_ptr<Recommender> model = CreateModel(
+      "GRU4Rec", data.value().num_items, data.value().num_operations, cfg);
+  ASSERT_NE(model, nullptr);
+  model->EnsureEvalMode();
+
+  par::SetThreadCount(0);  // hardware / EMBSR_THREADS default
+  auto sessions_per_sec = [&](const char* batch) {
+    setenv("EMBSR_BATCH_SIZE", batch, 1);
+    (void)Evaluate(model.get(), data.value().test, {20}, 64);  // warmup
+    WallTimer t;
+    const EvalResult r = Evaluate(model.get(), data.value().test, {20}, 512);
+    const double wall = t.ElapsedSeconds();
+    unsetenv("EMBSR_BATCH_SIZE");
+    EMBSR_CHECK(!r.ranks.empty());
+    return static_cast<double>(r.ranks.size()) / wall;
+  };
+  const double sps1 = sessions_per_sec("1");
+  const double sps32 = sessions_per_sec("32");
+
+  {
+    bench::BenchReport report("batch_smoke");
+    report.AddScalar("sessions_per_sec/GRU4Rec/b1", sps1);
+    report.AddScalar("sessions_per_sec/GRU4Rec/b32", sps32);
+    report.AddScalar("batch32_speedup", sps32 / std::max(sps1, 1e-9));
+    report.AddScalar("hardware_concurrency", hw);
+  }
+
+  if (hw < 2) {
+    GTEST_SKIP() << "single hardware thread (hw=" << hw
+                 << "): multi-core floor does not apply; measured "
+                 << "b1=" << sps1 << " b32=" << sps32 << " sessions/sec";
+  }
+  EXPECT_GE(sps32, 2.0 * sps1)
+      << "batch-32 evaluation regressed below the 2x floor: b1=" << sps1
+      << " b32=" << sps32 << " sessions/sec at " << par::ThreadCount()
+      << " lanes";
 }
 
 TEST(PerfRegression, ProfOffOverheadWithinTwoPercent) {
