@@ -7,17 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "analyze/model_audits.h"
 #include "analyze/tape_audit.h"
-#include "models/neural_model.h"
 #include "obs/json.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "prof/op_profiler.h"
-#include "train/model_zoo.h"
-#include "util/env.h"
-#include "util/fs_util.h"
-#include "util/logging.h"
 
 namespace embsr {
 namespace analyze {
@@ -50,7 +41,13 @@ GraphPlan BuildGraphPlan(const ag::Variable& loss,
                          const std::vector<nn::NamedParameter>& params,
                          const ag::Tape& tape,
                          const PlanOptions& options) {
-  (void)options;  // build is options-independent; options gate the verifier
+  return BuildGraphPlan(loss, params, tape.nodes(), options);
+}
+
+GraphPlan BuildGraphPlan(const ag::Variable& loss,
+                         const std::vector<nn::NamedParameter>& params,
+                         const std::vector<std::shared_ptr<ag::Node>>& recorded,
+                         const PlanOptions& options) {
   GraphPlan plan;
   if (!loss.defined()) {
     plan.build_failures.push_back(
@@ -63,9 +60,9 @@ GraphPlan BuildGraphPlan(const ag::Variable& loss,
   // reachable pre-tape nodes (parameters and cached constants: persistent).
   std::vector<ag::Node*> nodes;
   std::unordered_map<ag::Node*, NodeInfo> info;
-  const int64_t forward_steps = static_cast<int64_t>(tape.nodes().size());
+  const int64_t forward_steps = static_cast<int64_t>(recorded.size());
   for (int64_t i = 0; i < forward_steps; ++i) {
-    ag::Node* n = tape.nodes()[static_cast<size_t>(i)].get();
+    ag::Node* n = recorded[static_cast<size_t>(i)].get();
     auto [it, fresh] = info.try_emplace(n);
     if (!fresh) continue;  // defensive: a tape records each node once
     it->second.fwd_step = i;
@@ -97,23 +94,27 @@ GraphPlan BuildGraphPlan(const ag::Variable& loss,
   plan.build_failures = CheckShapes(nodes, &plan.stats.shapes);
 
   // ---- Backward schedule: replay exactly what Variable::Backward() runs.
-  const std::vector<ag::Node*> post = ag::BackwardPostOrder(loss);
-  std::unordered_set<ag::Node*> ready;
-  ready.insert(root);
-  info[root].accum_steps.push_back(forward_steps);  // the gradient seed
+  // Forward-only plans (eval/serving steps) have no seed and no backward
+  // steps; the caller reads the root at end_step == forward_steps.
   int64_t step = forward_steps;
-  for (auto it = post.rbegin(); it != post.rend(); ++it) {
-    ag::Node* n = *it;
-    if (!n->backward_fn || ready.count(n) == 0) continue;
-    info[n].exec_step = ++step;
-    for (const auto& p : n->parents) {
-      if (!p->requires_grad) continue;
-      info[p.get()].accum_steps.push_back(step);
-      ready.insert(p.get());
+  if (!options.forward_only) {
+    const std::vector<ag::Node*> post = ag::BackwardPostOrder(loss);
+    std::unordered_set<ag::Node*> ready;
+    ready.insert(root);
+    info[root].accum_steps.push_back(forward_steps);  // the gradient seed
+    for (auto it = post.rbegin(); it != post.rend(); ++it) {
+      ag::Node* n = *it;
+      if (!n->backward_fn || ready.count(n) == 0) continue;
+      info[n].exec_step = ++step;
+      for (const auto& p : n->parents) {
+        if (!p->requires_grad) continue;
+        info[p.get()].accum_steps.push_back(step);
+        ready.insert(p.get());
+      }
     }
   }
   const int64_t backward_steps = step - forward_steps;
-  const int64_t end_step = step + 1;
+  const int64_t end_step = options.forward_only ? forward_steps : step + 1;
   plan.end_step = end_step;
   plan.stats.tape_nodes = forward_steps;
   plan.stats.persistent_nodes = persistent_nodes;
@@ -125,6 +126,9 @@ GraphPlan BuildGraphPlan(const ag::Variable& loss,
   // ZeroGrad — the documented precondition).
   for (ag::Node* n : nodes) {
     const NodeInfo& ni = info[n];
+    // Executor context: persistent grads accumulate across the mini-batch,
+    // so their runtime count says nothing about this one step's schedule.
+    if (options.executor_mode && ni.fwd_step < 0) continue;
     const int64_t simulated = static_cast<int64_t>(ni.accum_steps.size());
     if (simulated != n->accum_count) {
       std::ostringstream out;
@@ -151,6 +155,7 @@ GraphPlan BuildGraphPlan(const ag::Variable& loss,
     b.is_root = n == root;
     b.size_bytes = n->value.size() * kBytesPerElem;
     b.def_step = ni.fwd_step;  // -1 for persistent: allocated pre-tape
+    b.exec_step = ni.exec_step;
     ni.value_buf = b.id;
     plan.buffers.push_back(std::move(b));
   }
@@ -302,6 +307,7 @@ PlanVerifyReport VerifyGraphPlan(const GraphPlan& plan,
       continue;
     }
     if (!b.is_grad && b.requires_grad && !b.is_root && b.reads == 0 &&
+        !options.executor_mode &&
         !Contains(options.allowed_dead_stores, b.label)) {
       fail("[dead-store] " + who.str() +
            " is written but never read before free (computed output dropped "
@@ -457,99 +463,6 @@ std::string PlanToDot(const GraphPlan& plan) {
   }
   out << "}\n";
   return out.str();
-}
-
-namespace {
-
-/// Same tiny fixed session and vocabulary as the model audits: every model
-/// path (GNN, op encoding, attention) has real work to do, and the dumped
-/// plan sits next to the audit's graph dump for the same graph.
-Example PlanExample() {
-  Example ex;
-  ex.macro_items = {3, 7, 5};
-  ex.macro_ops = {{1}, {0, 2}, {1, 3}};
-  ex.flat_items = {3, 7, 7, 5, 5};
-  ex.flat_ops = {1, 0, 2, 1, 3};
-  ex.target = 9;
-  return ex;
-}
-
-constexpr int64_t kPlanVocabItems = 12;
-constexpr int64_t kPlanVocabOperations = 4;
-
-}  // namespace
-
-ModelPlanOutcome RunModelPlan(const std::string& model) {
-  EMBSR_TRACE_SPAN("analyze/model_plan");
-  ModelPlanOutcome outcome;
-
-  TrainConfig cfg;
-  cfg.embedding_dim = 8;
-  cfg.max_positions = 16;
-  cfg.seed = 17;
-
-  std::unique_ptr<Recommender> rec =
-      CreateModel(model, kPlanVocabItems, kPlanVocabOperations, cfg);
-  if (rec == nullptr) return outcome;
-  outcome.known = true;
-  auto* neural = dynamic_cast<NeuralSessionModel*>(rec.get());
-  if (neural == nullptr) return outcome;  // memory-based: nothing to plan
-  outcome.neural = true;
-
-  neural->SetTraining(false);
-  neural->ZeroGrad();
-  const Example ex = PlanExample();
-
-  // A model variant's legitimately-unused op outputs (if it ever registers
-  // any) are the same set its tape audit allows as orphans.
-  PlanOptions options;
-  if (const ModelAuditSpec* spec = FindModelAudit(model)) {
-    options.allowed_dead_stores = spec->options.allowed_orphan_ops;
-  }
-
-  // Bracket exactly the forward+backward in a fresh prof session so the
-  // measured peak is the graph's transient footprint. Start() is a reset,
-  // so an already-active session (EMBSR_PROF=1 runs) is restarted rather
-  // than corrupted; it is left running — with cleared stats — afterwards.
-  const bool outer_session = prof::Enabled();
-  prof::Start();
-  const int64_t live0 = prof::MemSnapshot().live_bytes;
-  {
-    ag::Tape tape;
-    ag::Variable loss = neural->LossOn(ex);
-    loss.Backward();
-    outcome.measured_peak_bytes = prof::MemSnapshot().peak_bytes - live0;
-    outcome.plan =
-        BuildGraphPlan(loss, neural->NamedParameters(), tape, options);
-    outcome.verify = VerifyGraphPlan(outcome.plan, options);
-  }
-  if (!outer_session) prof::Stop();
-
-  if (outcome.plan.planned_total_bytes > 0) {
-    outcome.measured_over_planned =
-        static_cast<double>(outcome.measured_peak_bytes) /
-        static_cast<double>(outcome.plan.planned_total_bytes);
-  }
-
-  obs::Registry& reg = obs::Registry::Global();
-  reg.GetGauge("analyze/plan_total_bytes")
-      ->Set(static_cast<double>(outcome.plan.planned_total_bytes));
-  reg.GetGauge("analyze/plan_peak_bytes")
-      ->Set(static_cast<double>(outcome.plan.planned_peak_bytes));
-  reg.GetCounter("analyze/plans_total")->Increment();
-
-  const std::string dump_dir = GetEnvString("EMBSR_GRAPH_DUMP_DIR", "");
-  if (!dump_dir.empty()) {
-    const Status json = AtomicWriteFile(dump_dir + "/plan_" + model + ".json",
-                                        PlanToJson(outcome.plan));
-    const Status dot = AtomicWriteFile(dump_dir + "/plan_" + model + ".dot",
-                                       PlanToDot(outcome.plan));
-    if (!json.ok() || !dot.ok()) {
-      EMBSR_LOG(Warning) << "plan dump for " << model << " failed: "
-                         << (json.ok() ? dot : json).ToString();
-    }
-  }
-  return outcome;
 }
 
 }  // namespace analyze

@@ -2,6 +2,7 @@
 #define EMBSR_ANALYZE_GRAPH_PLAN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +59,10 @@ struct PlanBuffer {
   int64_t last_read_step = -1; // last pure read (-1: never read)
   int64_t reads = 0;           // modeled read count
   std::vector<int64_t> accum_steps;  // grad buffers: accumulation sites
+  int64_t exec_step = -1;  // value buffers: the owning node's backward
+                           // execution step (-1 if its backward never runs).
+                           // The arena executor advances its conformance
+                           // clock to this step before each backward_fn.
   int64_t offset = -1;   // arena offset (first-fit); -1 when not planned
   int64_t alias_of = -1; // id of the buffer this one views (Reshape-style);
                          // -1 = owns storage. The builder never emits
@@ -102,6 +107,17 @@ struct PlanOptions {
   /// Op names whose value buffers may legitimately go unread (mirrors
   /// TapeAuditOptions::allowed_orphan_ops). Normally empty.
   std::vector<std::string> allowed_dead_stores;
+  /// Plan a forward pass with no Backward(): no gradient seed, no backward
+  /// steps, no grad buffers; end_step is the forward step count and the
+  /// root is read there (the serving / ScoreAll shape of a step).
+  bool forward_only = false;
+  /// The arena executor's planning context, which breaks two assumptions
+  /// the audit-time planner makes: persistent (parameter) gradients
+  /// accumulate across a whole mini-batch, so their runtime accum_count is
+  /// unrelated to this single step's schedule (the cross-check skips them),
+  /// and dead-store hygiene is the model audit's business, not a memory-
+  /// safety property (the verifier skips [dead-store]).
+  bool executor_mode = false;
 };
 
 /// Builds the liveness intervals and first-fit arena plan for the graph
@@ -111,6 +127,14 @@ struct PlanOptions {
 GraphPlan BuildGraphPlan(const ag::Variable& loss,
                          const std::vector<nn::NamedParameter>& params,
                          const ag::Tape& tape,
+                         const PlanOptions& options = {});
+
+/// Same, over an explicitly captured node list (creation order) instead of
+/// a live Tape — the arena executor records nodes through an ExecObserver
+/// rather than opening a tape of its own.
+GraphPlan BuildGraphPlan(const ag::Variable& loss,
+                         const std::vector<nn::NamedParameter>& params,
+                         const std::vector<std::shared_ptr<ag::Node>>& recorded,
                          const PlanOptions& options = {});
 
 struct PlanVerifyReport {

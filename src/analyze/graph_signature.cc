@@ -1,0 +1,71 @@
+#include "analyze/graph_signature.h"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace embsr {
+namespace analyze {
+
+namespace {
+
+uint64_t HashMixBytes(uint64_t h, const char* s) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*s));
+    h *= kPrime;
+  }
+  // Terminator keeps ("ab","c") distinct from ("a","bc").
+  h ^= 0xffull;
+  h *= kPrime;
+  return h;
+}
+
+}  // namespace
+
+GraphSignature ComputeGraphSignature(
+    const std::vector<std::shared_ptr<ag::Node>>& recorded,
+    const ag::Node* root, bool forward_only) {
+  GraphSignature sig;
+  sig.tape_nodes = static_cast<int64_t>(recorded.size());
+  sig.forward_only = forward_only;
+
+  // Tape index per recorded node; persistent parents get negative ordinals
+  // in first-encounter order — stable across runs because encounter order
+  // is creation order, never a pointer value.
+  std::unordered_map<const ag::Node*, int64_t> index;
+  index.reserve(recorded.size() * 2);
+  for (size_t i = 0; i < recorded.size(); ++i) {
+    index.emplace(recorded[i].get(), static_cast<int64_t>(i));
+  }
+  int64_t persistent_seen = 0;
+
+  uint64_t h = kFnvOffsetBasis;
+  for (size_t i = 0; i < recorded.size(); ++i) {
+    const ag::Node* n = recorded[i].get();
+    h = HashMixBytes(h, n->op);
+    h = HashMixU64(h, static_cast<uint64_t>(n->value.ndim()));
+    for (int64_t d : n->value.shape()) {
+      h = HashMixU64(h, static_cast<uint64_t>(d));
+    }
+    h = HashMixU64(h, n->attr_hash);
+    h = HashMixU64(h, n->requires_grad ? 1 : 2);
+    h = HashMixU64(h, static_cast<uint64_t>(n->parents.size()));
+    for (const auto& p : n->parents) {
+      auto it = index.find(p.get());
+      if (it == index.end()) {
+        it = index.emplace(p.get(), -(++persistent_seen)).first;
+      }
+      h = HashMixU64(h, static_cast<uint64_t>(it->second));
+    }
+  }
+  const auto root_it = root != nullptr ? index.find(root) : index.end();
+  h = HashMixU64(h, root_it != index.end()
+                        ? static_cast<uint64_t>(root_it->second)
+                        : ~0ull);
+  h = HashMixU64(h, forward_only ? 3 : 4);
+  sig.hash = h;
+  return sig;
+}
+
+}  // namespace analyze
+}  // namespace embsr

@@ -1,0 +1,60 @@
+#ifndef EMBSR_ANALYZE_GRAPH_SIGNATURE_H_
+#define EMBSR_ANALYZE_GRAPH_SIGNATURE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace embsr {
+namespace analyze {
+
+/// Canonical structural hash of a recorded autograd graph — the key under
+/// which the arena executor caches and reuses a verified memory plan. Two
+/// steps with equal signatures produce tapes with identical topology, op
+/// names, shapes and op attributes, so one step's plan (offsets, liveness
+/// intervals, backward schedule) is valid for the other verbatim.
+///
+/// Hashed per node, in tape order: the op name, the value shape, the op's
+/// attribute hash (Node::attr_hash — scalar parameters like Scale's factor
+/// or SliceRows' bounds that change the computation without changing any
+/// shape; attribute-only differences MUST yield distinct signatures), the
+/// requires_grad flag, and each parent encoded as its tape index or, for
+/// persistent pre-tape nodes (parameters, cached constants), a negative
+/// ordinal assigned in first-encounter order. The root's position and the
+/// forward-only flag are mixed in last, so a train step and an eval step
+/// over the same forward graph never collide.
+struct GraphSignature {
+  uint64_t hash = 0;
+  int64_t tape_nodes = 0;
+  bool forward_only = false;
+
+  bool operator==(const GraphSignature& o) const {
+    return hash == o.hash && tape_nodes == o.tape_nodes &&
+           forward_only == o.forward_only;
+  }
+  bool operator!=(const GraphSignature& o) const { return !(*this == o); }
+};
+
+GraphSignature ComputeGraphSignature(
+    const std::vector<std::shared_ptr<ag::Node>>& recorded,
+    const ag::Node* root, bool forward_only);
+
+/// FNV-1a mixing primitive shared with the arena executor's key builders
+/// (deterministic across runs and platforms; never hashes pointers).
+inline uint64_t HashMixU64(uint64_t h, uint64_t v) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffull;
+    h *= kPrime;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+}  // namespace analyze
+}  // namespace embsr
+
+#endif  // EMBSR_ANALYZE_GRAPH_SIGNATURE_H_

@@ -1,0 +1,669 @@
+#include "arena/arena.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "analyze/graph_plan.h"
+#include "autograd/tape.h"
+#include "obs/metrics.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/tensor.h"
+#include "util/check.h"
+#include "util/env.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define EMBSR_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EMBSR_ARENA_ASAN 1
+#endif
+#endif
+#ifdef EMBSR_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace embsr {
+namespace arena {
+
+namespace {
+
+constexpr int64_t kBytesPerElem = static_cast<int64_t>(sizeof(float));
+constexpr int kStrikesToBlacklist = 3;
+
+/// The conformance clock every view on this thread points at. Thread-local
+/// and process-lived, so a view escaping its StepScope still dereferences
+/// valid memory (and then dies on the generation check, not on a wild read).
+thread_local int64_t t_clock = 0;
+thread_local StepStats t_last_stats;
+
+/// The arena block. Grow-only and thread-local: plans for different keys
+/// share it, each using its own prefix.
+std::vector<float>& ArenaStorage() {
+  thread_local std::vector<float> storage;
+  return storage;
+}
+
+/// View slots are pool-recycled and never freed, so a stale ArenaView* in an
+/// escaped Tensor points at live metadata; the generation stamp (bumped on
+/// every reuse) turns the escape into a FATAL.
+thread_local std::vector<std::unique_ptr<ArenaView>> t_slots;
+thread_local std::vector<ArenaView*> t_free_slots;
+
+ArenaView* AcquireSlot() {
+  if (t_free_slots.empty()) {
+    t_slots.push_back(std::make_unique<ArenaView>());
+    t_slots.back()->generation = 1;
+    return t_slots.back().get();
+  }
+  ArenaView* v = t_free_slots.back();
+  t_free_slots.pop_back();
+  ++v->generation;
+  return v;
+}
+
+std::atomic<int> g_force_strict{-1};
+
+bool ResolveStrict() {
+  const int f = g_force_strict.load(std::memory_order_relaxed);
+  if (f >= 0) return f != 0;
+  return EMBSR_CONTRACTS_ENABLED != 0;
+}
+
+bool StrictPinned() {
+  return g_force_strict.load(std::memory_order_relaxed) == 1;
+}
+
+void PoisonDead(ArenaView* v) {
+#ifdef EMBSR_ARENA_ASAN
+  __asan_poison_memory_region(v->base, v->elems * kBytesPerElem);
+#else
+  std::memset(v->base, 0xEB, v->elems * kBytesPerElem);
+#endif
+}
+
+void UnpoisonRegion(float* base, int64_t elems) {
+#ifdef EMBSR_ARENA_ASAN
+  __asan_unpoison_memory_region(base, elems * kBytesPerElem);
+#else
+  (void)base;
+  (void)elems;
+#endif
+}
+
+obs::Counter* HitsCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter("arena/plan_hits");
+  return c;
+}
+obs::Counter* MissesCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("arena/plan_misses");
+  return c;
+}
+obs::Counter* EvictionsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("arena/plan_evictions");
+  return c;
+}
+obs::Counter* FallbacksCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter("arena/fallbacks");
+  return c;
+}
+obs::Counter* RejectsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("arena/plan_rejects");
+  return c;
+}
+
+/// Global keyed plan cache. Admission, strikes and LRU eviction all live
+/// behind one mutex; the hot path takes it twice per step (admit + none, or
+/// admit + store), never inside a node callback.
+class PlanCache {
+ public:
+  struct Admission {
+    int64_t seen = 0;
+    bool blacklisted = false;
+    std::shared_ptr<CachedPlan> plan;
+  };
+
+  static PlanCache& Global() {
+    static PlanCache* cache = new PlanCache();  // lint: allow(raw-new): leaked singleton — outlives all worker threads
+    return *cache;
+  }
+
+  Admission Admit(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    KeyState& ks = keys_[key];
+    ++ks.seen;
+    ks.lru_tick = ++tick_;
+    return Admission{ks.seen, ks.blacklisted, ks.plan};
+  }
+
+  void Store(const std::string& key, std::shared_ptr<CachedPlan> plan) {
+    const int64_t cap =
+        std::max(1, GetEnvInt("EMBSR_ARENA_CACHE_CAP", 64));
+    std::lock_guard<std::mutex> lock(mu_);
+    KeyState& ks = keys_[key];
+    if (ks.blacklisted) return;
+    ks.plan = std::move(plan);
+    ks.lru_tick = ++tick_;
+    // Evict least-recently-admitted plans over the cap. The whole entry
+    // goes, so a re-encountered key restarts its warm-up discipline.
+    while (true) {
+      int64_t with_plan = 0;
+      auto victim = keys_.end();
+      for (auto it = keys_.begin(); it != keys_.end(); ++it) {
+        if (!it->second.plan) continue;
+        ++with_plan;
+        if (it->first == key) continue;
+        if (victim == keys_.end() ||
+            it->second.lru_tick < victim->second.lru_tick) {
+          victim = it;
+        }
+      }
+      if (with_plan <= cap || victim == keys_.end()) break;
+      keys_.erase(victim);
+      EvictionsCounter()->Increment();
+    }
+  }
+
+  void Strike(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    KeyState& ks = keys_[key];
+    if (++ks.strikes >= kStrikesToBlacklist) {
+      ks.blacklisted = true;
+      ks.plan.reset();
+    } else {
+      // Re-record on the next occurrence instead of replaying a plan that
+      // just mismatched.
+      ks.plan.reset();
+    }
+  }
+
+  std::shared_ptr<CachedPlan> Find(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = keys_.find(key);
+    return it == keys_.end() ? nullptr : it->second.plan;
+  }
+
+  bool Mutate(const std::string& key,
+              const std::function<void(CachedPlan*)>& fn) {
+    std::shared_ptr<CachedPlan> plan;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = keys_.find(key);
+      if (it == keys_.end() || !it->second.plan) return false;
+      plan = it->second.plan;
+    }
+    fn(plan.get());
+    RebuildDeathOrder(plan.get());
+    return true;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    keys_.clear();
+    tick_ = 0;
+  }
+
+ private:
+  struct KeyState {
+    int64_t seen = 0;
+    int strikes = 0;
+    bool blacklisted = false;
+    std::shared_ptr<CachedPlan> plan;
+    uint64_t lru_tick = 0;
+  };
+
+  std::mutex mu_;
+  std::unordered_map<std::string, KeyState> keys_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace
+
+bool Enabled() { return GetEnvInt("EMBSR_ARENA", 0) == 1; }
+
+const StepStats& LastStepStats() { return t_last_stats; }
+
+void RebuildDeathOrder(CachedPlan* plan) {
+  plan->death_order.clear();
+  for (size_t i = 0; i < plan->nodes.size(); ++i) {
+    const NodeSpec& s = plan->nodes[i];
+    if (s.value.offset >= 0) {
+      plan->death_order.push_back(
+          DeathEvent{s.value.last_use_step, static_cast<int32_t>(i), false});
+    }
+    if (s.grad.offset >= 0) {
+      plan->death_order.push_back(
+          DeathEvent{s.grad.last_use_step, static_cast<int32_t>(i), true});
+    }
+  }
+  std::stable_sort(plan->death_order.begin(), plan->death_order.end(),
+                   [](const DeathEvent& a, const DeathEvent& b) {
+                     return a.last_use_step < b.last_use_step;
+                   });
+}
+
+StepScope::StepScope(std::string key, bool forward_only)
+    : key_(std::move(key)), forward_only_(forward_only) {
+  if (!Enabled()) return;
+  // Stay out of nested steps and audit tapes: the analyze tooling must
+  // never observe reseated storage, and one conformance clock per thread.
+  if (ag::ExecObserver::Active() != nullptr || ag::Tape::Active() != nullptr) {
+    return;
+  }
+  tensor_pool::Enable();
+  stats_.active = true;
+
+  PlanCache::Admission a = PlanCache::Global().Admit(key_);
+  if (a.blacklisted) {
+    mode_ = Mode::kHeap;
+    MissesCounter()->Increment();
+    return;
+  }
+  if (a.plan && a.plan->forward_only == forward_only_) {
+    mode_ = Mode::kPlaced;
+    mutable_plan_ = std::move(a.plan);
+    plan_ = mutable_plan_;
+    strict_ = ResolveStrict();
+    stats_.placed = true;
+    stats_.signature = plan_->signature.hash;
+    stats_.planned_peak_bytes = plan_->planned_peak_bytes;
+    stats_.arena_extent_bytes = plan_->planned_extent_bytes;
+    std::vector<float>& storage = ArenaStorage();
+    if (static_cast<int64_t>(storage.size()) < plan_->extent_elems) {
+      // The arena block itself: sized once per plan high-water mark,
+      // then reused across steps.
+      storage.resize(static_cast<size_t>(plan_->extent_elems));  // lint: allow(raw-resize): container sizing, not a tensor reshape
+    }
+    value_views_.assign(static_cast<size_t>(plan_->forward_steps), nullptr);
+    grad_views_.assign(static_cast<size_t>(plan_->forward_steps), nullptr);
+    // Pre-size the replay bookkeeping: a stacked scoring graph records
+    // tens of thousands of nodes, and incremental rehashing would dominate
+    // the per-node conformance cost.
+    ident_.reserve(static_cast<size_t>(plan_->forward_steps) * 2);
+    placements_.reserve(plan_->death_order.size());
+    t_clock = -1;
+    HitsCounter()->Increment();
+  } else if (a.seen >= 2) {
+    mode_ = Mode::kRecord;
+    MissesCounter()->Increment();
+  } else {
+    mode_ = Mode::kHeap;
+    MissesCounter()->Increment();
+    return;
+  }
+  ag::ExecObserver::Install(this);
+  installed_ = true;
+}
+
+StepScope::~StepScope() {
+  if (installed_) {
+    if (mode_ == Mode::kRecord) {
+      CloseRecord();
+    } else if (mode_ == Mode::kPlaced) {
+      ClosePlaced();
+    }
+    ag::ExecObserver::Uninstall(this);
+  }
+  if (stats_.active) t_last_stats = stats_;
+}
+
+void StepScope::SetRoot(const ag::Variable& root) {
+  if (mode_ == Mode::kInert || mode_ == Mode::kHeap) return;
+  if (root.defined()) root_ = root.node().get();
+}
+
+void StepScope::OnNodeRecorded(const std::shared_ptr<ag::Node>& node) {
+  if (mode_ == Mode::kRecord) {
+    recorded_.push_back(node);
+    return;
+  }
+  if (mode_ != Mode::kPlaced || fell_back_) return;
+  ag::Node* n = node.get();
+  const int64_t idx = next_index_++;
+  if (idx >= plan_->forward_steps) {
+    PlanMismatch(idx, "more nodes recorded than the plan schedules");
+    return;
+  }
+  AdvanceClock(idx);
+  ident_.emplace(n, idx);
+  const NodeSpec& s = plan_->nodes[static_cast<size_t>(idx)];
+  bool ok = s.op == n->op && s.elems == n->value.size() &&
+            s.attr_hash == n->attr_hash &&
+            s.requires_grad == n->requires_grad &&
+            s.parents.size() == n->parents.size();
+  if (ok) {
+    for (size_t k = 0; k < n->parents.size(); ++k) {
+      const ag::Node* p = n->parents[k].get();
+      auto it = ident_.find(p);
+      if (it == ident_.end()) {
+        it = ident_.emplace(p, -(++persistent_seen_)).first;
+      }
+      if (it->second != s.parents[k]) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (!ok) {
+    PlanMismatch(idx, "recorded node does not match its plan spec");
+    return;
+  }
+  if (s.value.offset >= 0) PlaceValue(n, idx);
+}
+
+void StepScope::OnBackwardSeed(ag::Node* root) {
+  if (mode_ == Mode::kRecord) {
+    root_ = root;
+    return;
+  }
+  if (mode_ != Mode::kPlaced || fell_back_) return;
+  backward_seen_ = true;
+  if (plan_->forward_only) {
+    PlanMismatch(next_index_, "Backward() under a forward-only plan");
+    return;
+  }
+  if (next_index_ != plan_->forward_steps) {
+    PlanMismatch(next_index_, "fewer nodes recorded than the plan schedules");
+    return;
+  }
+  auto it = ident_.find(root);
+  if (it == ident_.end() || it->second != plan_->root_index) {
+    PlanMismatch(it == ident_.end() ? -1 : it->second,
+                 "backward root differs from the planned root");
+    return;
+  }
+  AdvanceClock(plan_->forward_steps);
+}
+
+void StepScope::OnBackwardOp(ag::Node* node) {
+  if (mode_ != Mode::kPlaced || fell_back_) return;
+  auto it = ident_.find(node);
+  if (it == ident_.end() || it->second < 0) {
+    PlanMismatch(-1, "backward op on a node outside the planned graph");
+    return;
+  }
+  const NodeSpec& s = plan_->nodes[static_cast<size_t>(it->second)];
+  if (s.exec_step < 0 || s.exec_step <= t_clock) {
+    PlanMismatch(it->second, "backward schedule diverged from the plan");
+    return;
+  }
+  AdvanceClock(s.exec_step);
+}
+
+void StepScope::OnGradSeated(ag::Node* node) {
+  if (mode_ != Mode::kPlaced || fell_back_) return;
+  auto it = ident_.find(node);
+  // Persistent (parameter) gradients accumulate across the mini-batch and
+  // are read by the optimizer after the step: never placed.
+  if (it == ident_.end() || it->second < 0) return;
+  const int64_t idx = it->second;
+  const NodeSpec& s = plan_->nodes[static_cast<size_t>(idx)];
+  if (s.grad.offset < 0) return;
+  if (grad_views_[static_cast<size_t>(idx)] != nullptr) return;
+  if (node->grad.size() != s.grad.elems || t_clock != s.grad.def_step) {
+    PlanMismatch(idx, "gradient seated off its planned schedule");
+    return;
+  }
+  PlaceGrad(node, idx);
+}
+
+void StepScope::AdvanceClock(int64_t step) {
+  t_clock = step;
+  const std::vector<DeathEvent>& deaths = plan_->death_order;
+  while (death_cursor_ < deaths.size() &&
+         deaths[death_cursor_].last_use_step < step) {
+    const DeathEvent& d = deaths[death_cursor_++];
+    ArenaView* v = d.is_grad ? grad_views_[static_cast<size_t>(d.node)]
+                             : value_views_[static_cast<size_t>(d.node)];
+    if (v == nullptr || v->expired) continue;
+    if (strict_) PoisonDead(v);
+    v->expired = true;
+    live_bytes_ -= v->elems * kBytesPerElem;
+  }
+}
+
+ArenaView* StepScope::Seat(ag::Node* node, int64_t index,
+                           const BufferSpec& spec, bool is_grad) {
+  std::vector<float>& storage = ArenaStorage();
+  if (spec.offset < 0 ||
+      spec.offset + spec.elems > static_cast<int64_t>(storage.size())) {
+    EMBSR_CHECK_MSG(
+        !strict_,
+        "[extent-overflow] arena %s buffer #%lld (node %lld, '%s') spans "
+        "floats [%lld, %lld) but the planned extent is %lld",
+        is_grad ? "grad" : "value", static_cast<long long>(spec.buffer_id),
+        static_cast<long long>(index),
+        plan_->nodes[static_cast<size_t>(index)].op.c_str(),
+        static_cast<long long>(spec.offset),
+        static_cast<long long>(spec.offset + spec.elems),
+        static_cast<long long>(storage.size()));
+    Fallback("planned offset beyond the arena extent");
+    return nullptr;
+  }
+  ArenaView* v = AcquireSlot();
+  v->base = storage.data() + spec.offset;  // lint: allow(data-arith): seats the view at the planner's offset
+  v->elems = spec.elems;
+  v->def_step = spec.def_step;
+  v->last_use_step = spec.last_use_step;
+  v->clock = &t_clock;
+  v->label = plan_->nodes[static_cast<size_t>(index)].op.c_str();
+  v->buffer_id = spec.buffer_id;
+  v->is_grad = is_grad;
+  v->strict = strict_;
+  v->expired = false;
+  UnpoisonRegion(v->base, v->elems);
+  std::memcpy(v->base, is_grad ? node->grad.data() : node->value.data(),
+              static_cast<size_t>(spec.elems) * sizeof(float));
+  placements_.push_back(Placement{node, v, is_grad});
+  live_bytes_ += spec.elems * kBytesPerElem;
+  stats_.live_peak_bytes = std::max(stats_.live_peak_bytes, live_bytes_);
+  ++stats_.placed_buffers;
+  stats_.placed_bytes += spec.elems * kBytesPerElem;
+  return v;
+}
+
+void StepScope::PlaceValue(ag::Node* node, int64_t index) {
+  const NodeSpec& s = plan_->nodes[static_cast<size_t>(index)];
+  ArenaView* v = Seat(node, index, s.value, /*is_grad=*/false);
+  if (v == nullptr) return;
+  node->value = Tensor::FromArenaView(v, node->value.shape());
+  value_views_[static_cast<size_t>(index)] = v;
+}
+
+void StepScope::PlaceGrad(ag::Node* node, int64_t index) {
+  const NodeSpec& s = plan_->nodes[static_cast<size_t>(index)];
+  ArenaView* v = Seat(node, index, s.grad, /*is_grad=*/true);
+  if (v == nullptr) return;
+  node->grad = Tensor::FromArenaView(v, node->grad.shape());
+  grad_views_[static_cast<size_t>(index)] = v;
+}
+
+void StepScope::PlanMismatch(int64_t index, const char* what) {
+  EMBSR_CHECK_MSG(!StrictPinned(),
+                  "[stale-plan] cached arena plan for key '%s' no longer "
+                  "matches execution at node %lld: %s",
+                  key_.c_str(), static_cast<long long>(index), what);
+  Fallback(what);
+}
+
+void StepScope::Fallback(const char* reason) {
+  (void)reason;
+  fell_back_ = true;
+  stats_.fell_back = true;
+  FallbacksCounter()->Increment();
+  PlanCache::Global().Strike(key_);
+  // Spill: every live placed buffer rematerializes on the heap via a deep
+  // copy through the sentinel gate, then its arena view is retired. After
+  // this loop the step continues exactly as a heap execution.
+  for (const Placement& p : placements_) {
+    if (p.view->expired) continue;
+    if (p.is_grad) {
+      Tensor heap_copy(p.owner->grad);  // lint: allow(arena-bypass): fail-open spill rematerializes on the heap
+      p.owner->grad = std::move(heap_copy);
+    } else {
+      Tensor heap_copy(p.owner->value);  // lint: allow(arena-bypass): fail-open spill rematerializes on the heap
+      p.owner->value = std::move(heap_copy);
+    }
+    p.view->expired = true;
+  }
+  live_bytes_ = 0;
+  UnpoisonRegion(ArenaStorage().data(), plan_->extent_elems);
+}
+
+void StepScope::CloseRecord() {
+  if (recorded_.empty() || root_ == nullptr) return;
+  int64_t root_idx = -1;
+  for (size_t i = 0; i < recorded_.size(); ++i) {
+    if (recorded_[i].get() == root_) {
+      root_idx = static_cast<int64_t>(i);
+      break;
+    }
+  }
+  if (root_idx < 0) return;  // root predates the step: nothing cacheable
+
+  const analyze::GraphSignature sig =
+      analyze::ComputeGraphSignature(recorded_, root_, forward_only_);
+  analyze::PlanOptions opt;
+  opt.forward_only = forward_only_;
+  opt.executor_mode = true;
+  const analyze::GraphPlan gp = analyze::BuildGraphPlan(
+      ag::Variable::FromNode(recorded_[static_cast<size_t>(root_idx)]), {},
+      recorded_, opt);
+  const analyze::PlanVerifyReport report = analyze::VerifyGraphPlan(gp, opt);
+  if (!report.ok()) {
+    // Exact-heap fallback on verification failure: strike the key so it
+    // re-records (and eventually blacklists) instead of replaying a plan
+    // the verifier rejected.
+    RejectsCounter()->Increment();
+    PlanCache::Global().Strike(key_);
+    return;
+  }
+
+  const int64_t n = static_cast<int64_t>(recorded_.size());
+  auto plan = std::make_shared<CachedPlan>();
+  plan->signature = sig;
+  plan->forward_only = forward_only_;
+  plan->root_index = root_idx;
+  plan->forward_steps = n;
+  plan->end_step = gp.end_step;
+  plan->extent_elems = (gp.arena_extent_bytes + kBytesPerElem - 1) / kBytesPerElem;
+  plan->planned_peak_bytes = gp.planned_peak_bytes;
+  plan->planned_extent_bytes = gp.arena_extent_bytes;
+
+  std::unordered_map<int64_t, const analyze::PlanBuffer*> grad_of;
+  for (const analyze::PlanBuffer& b : gp.buffers) {
+    if (b.is_grad && b.node_id >= 0) grad_of[b.node_id] = &b;
+  }
+  std::unordered_map<const ag::Node*, int64_t> ident;
+  int64_t persistent_seen = 0;
+  plan->nodes.resize(static_cast<size_t>(n));  // lint: allow(raw-resize): container sizing, not a tensor reshape
+  for (int64_t i = 0; i < n; ++i) {
+    ag::Node* node = recorded_[static_cast<size_t>(i)].get();
+    ident.emplace(node, i);
+    NodeSpec& s = plan->nodes[static_cast<size_t>(i)];
+    s.op = node->op;
+    s.elems = node->value.size();
+    s.attr_hash = node->attr_hash;
+    s.requires_grad = node->requires_grad;
+    for (const std::shared_ptr<ag::Node>& p : node->parents) {
+      auto it = ident.find(p.get());
+      if (it == ident.end()) {
+        it = ident.emplace(p.get(), -(++persistent_seen)).first;
+      }
+      s.parents.push_back(it->second);
+    }
+    const analyze::PlanBuffer& vb = gp.buffers[static_cast<size_t>(i)];
+    if (vb.node_id != i || vb.is_grad) return;  // layout drifted: bail
+    s.exec_step = vb.exec_step;
+    s.value.elems = s.elems;
+    s.value.def_step = vb.def_step;
+    s.value.last_use_step = vb.last_use_step;
+    s.value.buffer_id = vb.id;
+    // Placement policy: transient, non-root, actually-read value buffers.
+    // The root (loss / logits) is what the caller holds across the scope
+    // boundary; unread buffers never amortize their placement copy.
+    const bool place_value = !vb.persistent && !vb.is_root && vb.offset >= 0 &&
+                             vb.reads > 0 && vb.size_bytes > 0;
+    s.value.offset = place_value ? vb.offset / kBytesPerElem : -1;
+    auto git = grad_of.find(i);
+    if (git != grad_of.end() && i != root_idx) {
+      const analyze::PlanBuffer& gb = *git->second;
+      s.grad.elems = gb.size_bytes / kBytesPerElem;
+      s.grad.def_step = gb.def_step;
+      s.grad.last_use_step = gb.last_use_step;
+      s.grad.buffer_id = gb.id;
+      s.grad.offset =
+          gb.offset >= 0 && gb.size_bytes > 0 ? gb.offset / kBytesPerElem : -1;
+    }
+  }
+  RebuildDeathOrder(plan.get());
+  stats_.recorded = true;
+  stats_.signature = sig.hash;
+  PlanCache::Global().Store(key_, std::move(plan));
+}
+
+void StepScope::ClosePlaced() {
+  if (!fell_back_) {
+    bool complete;
+    if (plan_->forward_only) {
+      auto it = root_ != nullptr ? ident_.find(root_) : ident_.end();
+      complete = next_index_ == plan_->forward_steps &&
+                 it != ident_.end() && it->second == plan_->root_index;
+    } else {
+      complete = backward_seen_;
+    }
+    if (!complete) {
+      // The graph may already be destroyed at scope close, so this strike
+      // must not touch owner nodes: retire the views without spilling (the
+      // step already ran to completion on whatever storage it had).
+      EMBSR_CHECK_MSG(!StrictPinned(),
+                      "[stale-plan] cached arena plan for key '%s' was not "
+                      "driven to completion (recorded %lld of %lld nodes)",
+                      key_.c_str(), static_cast<long long>(next_index_),
+                      static_cast<long long>(plan_->forward_steps));
+      fell_back_ = true;
+      stats_.fell_back = true;
+      FallbacksCounter()->Increment();
+      PlanCache::Global().Strike(key_);
+    } else {
+      AdvanceClock(plan_->end_step);
+    }
+  }
+  for (const Placement& p : placements_) {
+    p.view->expired = true;
+    t_free_slots.push_back(p.view);
+  }
+  UnpoisonRegion(ArenaStorage().data(), plan_->extent_elems);
+  static obs::Gauge* live_gauge =
+      obs::Registry::Global().GetGauge("arena/live_peak_bytes");
+  static obs::Gauge* extent_gauge =
+      obs::Registry::Global().GetGauge("arena/extent_bytes");
+  live_gauge->Set(static_cast<double>(stats_.live_peak_bytes));
+  extent_gauge->Set(static_cast<double>(stats_.arena_extent_bytes));
+}
+
+void ResetForTesting() {
+  PlanCache::Global().Reset();
+  t_last_stats = StepStats{};
+}
+
+void ForceStrict(int mode) {
+  g_force_strict.store(mode, std::memory_order_relaxed);
+}
+
+bool MutateCachedPlan(const std::string& key,
+                      const std::function<void(CachedPlan*)>& fn) {
+  return PlanCache::Global().Mutate(key, fn);
+}
+
+std::shared_ptr<const CachedPlan> FindCachedPlan(const std::string& key) {
+  return PlanCache::Global().Find(key);
+}
+
+}  // namespace arena
+}  // namespace embsr

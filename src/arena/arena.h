@@ -1,0 +1,221 @@
+#ifndef EMBSR_ARENA_ARENA_H_
+#define EMBSR_ARENA_ARENA_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analyze/graph_signature.h"
+#include "autograd/exec_observer.h"
+#include "autograd/variable.h"
+#include "tensor/arena_view.h"
+
+namespace embsr {
+namespace arena {
+
+/// Plan-executing arena allocator (DESIGN.md §17).
+///
+/// A training or scoring step wrapped in a StepScope runs in one of three
+/// regimes, chosen per *step key* (a caller-supplied string naming the model
+/// and the input's structural skeleton):
+///
+///   occurrence 1   plain heap execution (nothing to compare against)
+///   occurrence 2   heap execution, recorded through an ag::ExecObserver;
+///                  at scope close the graph is signed
+///                  (analyze::ComputeGraphSignature), planned
+///                  (analyze::BuildGraphPlan in executor mode), verified
+///                  (analyze::VerifyGraphPlan) and cached
+///   occurrence 3+  *placed* execution: each recorded node is conformance-
+///                  checked against the cached plan (op, element count,
+///                  attribute hash, requires_grad, parent structure) and its
+///                  transient buffers are seated at the plan's offsets
+///                  inside one pre-sized arena block instead of their own
+///                  heap vectors
+///
+/// The executor NEVER fails a step. Any conformance mismatch — a model with
+/// data-dependent topology, a stale plan, an extent overflow — spills every
+/// live placed buffer back to the heap mid-step (deep copies through the
+/// sentinel gate), strikes the key, and after repeated strikes blacklists it
+/// to permanent heap execution. The only FATALs are the lifetime sentinel's
+/// (see ArenaViewData) and the [stale-plan]/[extent-overflow] alarms armed
+/// explicitly by tests via ForceStrict(1).
+///
+/// Lifetime-conformance sentinel. In strict mode (EMBSR_CHECK_CONTRACTS
+/// builds, or ForceStrict(1)) every touch of a placed buffer is checked
+/// against its planned [first_def, last_use] interval by the single gate in
+/// tensor/arena_view.h, and buffers are *poisoned* at their planned death:
+/// ASan manual poisoning when the build has AddressSanitizer, a 0xEB byte
+/// scribble otherwise. A read resurrecting a dead buffer therefore dies
+/// loudly in every configuration that can see it.
+
+/// One planned buffer of a cached plan, in element (float) units.
+struct BufferSpec {
+  int64_t offset = -1;  // float offset into the arena; -1 = not placed
+  int64_t elems = 0;
+  int64_t def_step = 0;
+  int64_t last_use_step = 0;
+  int64_t buffer_id = -1;  // analyze::PlanBuffer::id, for diagnostics
+};
+
+/// Expected identity + placement of one recorded node. The conformance check
+/// in placed mode compares the replayed node against this, field by field.
+struct NodeSpec {
+  std::string op;
+  int64_t elems = 0;
+  uint64_t attr_hash = 0;
+  bool requires_grad = false;
+  /// Parent references: tape index >= 0, or -(k+1) for the k-th distinct
+  /// persistent (pre-step) node in first-encounter order — the same encoding
+  /// analyze::ComputeGraphSignature hashes.
+  std::vector<int64_t> parents;
+  int64_t exec_step = -1;  // backward execution step; -1 = never runs
+  BufferSpec value;
+  BufferSpec grad;
+};
+
+/// A planned buffer's scheduled death, for the executor's sweep cursor.
+struct DeathEvent {
+  int64_t last_use_step = 0;
+  int32_t node = 0;
+  bool is_grad = false;
+};
+
+struct CachedPlan {
+  analyze::GraphSignature signature;
+  bool forward_only = false;
+  int64_t root_index = -1;  // tape index of the step root
+  int64_t forward_steps = 0;
+  int64_t end_step = 0;
+  int64_t extent_elems = 0;  // arena block size, floats
+  int64_t planned_peak_bytes = 0;
+  int64_t planned_extent_bytes = 0;
+  std::vector<NodeSpec> nodes;  // one per forward step, tape order
+  std::vector<DeathEvent> death_order;  // sorted by last_use_step
+};
+
+/// Rebuilds `death_order` from the placed buffers in `nodes` (sorted by
+/// last_use_step). The cache calls this after construction and after every
+/// MutateCachedPlan, so a mutated plan keeps a consistent sweep schedule.
+void RebuildDeathOrder(CachedPlan* plan);
+
+/// Outcome of the last closed StepScope on this thread.
+struct StepStats {
+  bool active = false;    // the scope engaged (EMBSR_ARENA=1, not nested)
+  bool placed = false;    // ran against a cached plan
+  bool recorded = false;  // recorded and cached a plan this step
+  bool fell_back = false; // mid-step spill back to the heap
+  int64_t placed_buffers = 0;
+  int64_t placed_bytes = 0;
+  int64_t live_peak_bytes = 0;     // peak of placed live bytes
+  int64_t planned_peak_bytes = 0;  // from the plan (0 when not placed)
+  int64_t arena_extent_bytes = 0;
+  uint64_t signature = 0;
+};
+
+/// True when EMBSR_ARENA=1 (read live, so tests can toggle with setenv).
+bool Enabled();
+
+const StepStats& LastStepStats();
+
+/// Brackets one model step. Declare it BEFORE any graph Variable of the
+/// step, so the graph (and every tensor viewing the arena) dies first.
+/// Inert — plain heap execution, no observer — when the executor is
+/// disabled, when another observer or scope is active on the thread, or
+/// when an analyze Tape is open (audit tooling must never observe
+/// reseated storage).
+class StepScope : public ag::ExecObserver {
+ public:
+  /// `key` names the (model, input-structure) equivalence class; plans are
+  /// cached and replayed per key. `forward_only` steps (scoring) must call
+  /// SetRoot before the scope closes and never run Backward().
+  explicit StepScope(std::string key, bool forward_only = false);
+  ~StepScope() override;
+
+  StepScope(const StepScope&) = delete;
+  StepScope& operator=(const StepScope&) = delete;
+
+  /// Forward-only steps: names the output the caller reads (the logits).
+  void SetRoot(const ag::Variable& root);
+
+  // ag::ExecObserver --------------------------------------------------------
+  void OnNodeRecorded(const std::shared_ptr<ag::Node>& node) override;
+  void OnBackwardSeed(ag::Node* root) override;
+  void OnBackwardOp(ag::Node* node) override;
+  void OnGradSeated(ag::Node* node) override;
+
+ private:
+  enum class Mode { kInert, kHeap, kRecord, kPlaced };
+
+  void AdvanceClock(int64_t step);
+  void PlaceValue(ag::Node* node, int64_t index);
+  void PlaceGrad(ag::Node* node, int64_t index);
+  ArenaView* Seat(ag::Node* node, int64_t index, const BufferSpec& spec,
+                  bool is_grad);
+  /// Cached plan disagrees with live execution: FATAL [stale-plan] when a
+  /// test pinned strict mode, else spill + strike (fail open).
+  void PlanMismatch(int64_t index, const char* what);
+  void Fallback(const char* reason);
+  void CloseRecord();
+  void ClosePlaced();
+
+  std::string key_;
+  bool forward_only_ = false;
+  Mode mode_ = Mode::kInert;
+  bool installed_ = false;
+  bool strict_ = false;
+  bool fell_back_ = false;
+  bool backward_seen_ = false;
+
+  // Record mode.
+  std::vector<std::shared_ptr<ag::Node>> recorded_;
+  ag::Node* root_ = nullptr;
+
+  // Placed mode.
+  std::shared_ptr<const CachedPlan> plan_;
+  std::shared_ptr<CachedPlan> mutable_plan_;  // keeps the cache entry alive
+  int64_t next_index_ = 0;
+  size_t death_cursor_ = 0;
+  /// Replay identity: recorded node -> tape index; persistent parent ->
+  /// negative first-encounter ordinal (the NodeSpec::parents encoding).
+  std::unordered_map<const ag::Node*, int64_t> ident_;
+  int64_t persistent_seen_ = 0;
+  std::vector<ArenaView*> value_views_;
+  std::vector<ArenaView*> grad_views_;
+  struct Placement {
+    ag::Node* owner = nullptr;
+    ArenaView* view = nullptr;
+    bool is_grad = false;
+  };
+  std::vector<Placement> placements_;
+  int64_t live_bytes_ = 0;
+
+  StepStats stats_;
+};
+
+// -- Testing hooks --------------------------------------------------------
+
+/// Clears the plan cache and per-key state (strikes, blacklists).
+void ResetForTesting();
+
+/// -1 (default): strict mode follows the EMBSR_CHECK_CONTRACTS build flag.
+/// 0/1: override. ForceStrict(1) additionally *pins* strictness: plan
+/// mismatches FATAL with [stale-plan] instead of spilling, which is how the
+/// mutant tests prove the alarm rings.
+void ForceStrict(int mode);
+
+/// Applies `fn` to the cached plan for `key` (if any), then rebuilds the
+/// death order. Returns false when the key has no cached plan. Used by the
+/// conformance tests to seed corrupted plans.
+bool MutateCachedPlan(const std::string& key,
+                      const std::function<void(CachedPlan*)>& fn);
+
+/// The cached plan for `key`, or null. Tests inspect planned sizes with it.
+std::shared_ptr<const CachedPlan> FindCachedPlan(const std::string& key);
+
+}  // namespace arena
+}  // namespace embsr
+
+#endif  // EMBSR_ARENA_ARENA_H_

@@ -1,0 +1,28 @@
+#include "autograd/exec_observer.h"
+
+#include "util/check.h"
+
+namespace embsr {
+namespace ag {
+
+namespace {
+thread_local ExecObserver* t_active_observer = nullptr;
+}  // namespace
+
+ExecObserver* ExecObserver::Active() { return t_active_observer; }
+
+void ExecObserver::Install(ExecObserver* obs) {
+  EMBSR_CHECK(obs != nullptr);
+  EMBSR_CHECK_MSG(t_active_observer == nullptr,
+                  "an ExecObserver is already installed on this thread");
+  t_active_observer = obs;
+}
+
+void ExecObserver::Uninstall(ExecObserver* obs) {
+  EMBSR_CHECK_MSG(t_active_observer == obs,
+                  "Uninstall() by an observer that is not installed");
+  t_active_observer = nullptr;
+}
+
+}  // namespace ag
+}  // namespace embsr

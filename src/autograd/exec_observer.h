@@ -1,0 +1,53 @@
+#ifndef EMBSR_AUTOGRAD_EXEC_OBSERVER_H_
+#define EMBSR_AUTOGRAD_EXEC_OBSERVER_H_
+
+#include <memory>
+
+#include "autograd/variable.h"
+
+namespace embsr {
+namespace ag {
+
+/// Thread-local execution hooks for the arena executor (src/arena).
+///
+/// A Tape passively *retains* nodes for post-hoc analysis; an ExecObserver
+/// instead rides along with execution — it sees each node the moment it is
+/// recorded (while the producing op's output is still the freshest tensor
+/// alive, so storage can be reseated into the arena before any consumer
+/// reads it) and each backward step the moment before it runs (so the
+/// executor's conformance clock tracks the plan schedule in real time).
+///
+/// At most one observer per thread. The observer must not build graph nodes
+/// from inside a callback (no reentrancy), and installation is refused while
+/// nested — the arena executor additionally stays out of any step that has
+/// an audit Tape open, so tapes never observe reseated storage mid-record.
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+
+  /// A node was just recorded (leaf construction or MakeOp), before any
+  /// consumer ran. attr_hash/parents/value are final; grad is untouched.
+  virtual void OnNodeRecorded(const std::shared_ptr<Node>& node) = 0;
+
+  /// Backward() is about to seed d(root)/d(root) = 1.
+  virtual void OnBackwardSeed(Node* root) = 0;
+
+  /// `node`'s backward_fn is about to run.
+  virtual void OnBackwardOp(Node* node) = 0;
+
+  /// `node`'s grad buffer was just seated (first accumulation).
+  virtual void OnGradSeated(Node* node) = 0;
+
+  /// The observer installed on this thread, or null.
+  static ExecObserver* Active();
+  /// Installs `obs` (which must outlive the installation). FATAL if another
+  /// observer is already installed on this thread.
+  static void Install(ExecObserver* obs);
+  /// FATAL unless `obs` is the installed observer.
+  static void Uninstall(ExecObserver* obs);
+};
+
+}  // namespace ag
+}  // namespace embsr
+
+#endif  // EMBSR_AUTOGRAD_EXEC_OBSERVER_H_

@@ -1,5 +1,7 @@
 #include "autograd/tape.h"
 
+#include "autograd/exec_observer.h"
+
 namespace embsr {
 namespace ag {
 
@@ -15,6 +17,7 @@ Tape* Tape::Active() { return t_active_tape; }
 
 void Tape::Record(const std::shared_ptr<Node>& node) {
   if (t_active_tape != nullptr) t_active_tape->nodes_.push_back(node);
+  if (ExecObserver* eo = ExecObserver::Active()) eo->OnNodeRecorded(node);
 }
 
 }  // namespace ag

@@ -1,0 +1,75 @@
+#ifndef EMBSR_TENSOR_ARENA_VIEW_H_
+#define EMBSR_TENSOR_ARENA_VIEW_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace embsr {
+
+/// Metadata for a tensor whose storage lives inside the arena executor's
+/// pre-planned block instead of its own heap vector (DESIGN.md §17). The
+/// executor (src/arena) creates one view per placed plan buffer; a Tensor
+/// holding a non-null ArenaView* owns no bytes — data()/size() route here.
+///
+/// The view doubles as the lifetime-conformance sentinel's checkpoint:
+/// every touch of arena storage funnels through ArenaViewData(), which
+/// cross-checks the executor's step clock against the plan's
+/// [first_def, last_use] interval. `expired` (set when the executor sweeps
+/// the buffer at its planned death, or spills it on fallback) is checked
+/// unconditionally; the clock-interval checks run when the executor armed
+/// `strict` (EMBSR_CHECK_CONTRACTS builds, or the test override).
+///
+/// Views are pool-recycled by the executor, never freed mid-run, so a
+/// stale pointer in an escaped Tensor still points at live memory; the
+/// `generation` stamp (checked by Tensor, which records the value at
+/// placement) turns such an escape into a FATAL instead of a silent read
+/// of whatever buffer reuses the slot.
+struct ArenaView {
+  float* base = nullptr;
+  int64_t elems = 0;
+  int64_t def_step = 0;       // plan step of first write
+  int64_t last_use_step = 0;  // plan step of last read/accumulation
+  const int64_t* clock = nullptr;  // the owning executor's step clock
+  uint64_t generation = 0;    // bumped each time the slot is recycled
+  const char* label = "";     // diagnostic name (op or parameter)
+  int64_t buffer_id = -1;     // PlanBuffer::id in the cached plan
+  bool is_grad = false;
+  bool strict = false;   // arm the interval checks (sentinel mode)
+  bool expired = false;  // swept at planned death or spilled
+};
+
+/// The single gate in front of arena bytes. FATAL diagnostics name the
+/// violation class, the buffer and the plan step, mirroring the verifier's
+/// tag vocabulary so a dynamic alarm reads like a static one.
+inline float* ArenaViewData(const ArenaView* v) {
+  EMBSR_CHECK_MSG(!v->expired,
+                  "[use-after-free] arena %s buffer #%lld ('%s') touched "
+                  "after its planned interval [%lld, %lld] was swept",
+                  v->is_grad ? "grad" : "value",
+                  static_cast<long long>(v->buffer_id), v->label,
+                  static_cast<long long>(v->def_step),
+                  static_cast<long long>(v->last_use_step));
+  if (v->strict) {
+    const int64_t now = *v->clock;
+    EMBSR_CHECK_MSG(now >= v->def_step,
+                    "[use-before-def] arena %s buffer #%lld ('%s') touched "
+                    "at plan step %lld before its first def at step %lld",
+                    v->is_grad ? "grad" : "value",
+                    static_cast<long long>(v->buffer_id), v->label,
+                    static_cast<long long>(now),
+                    static_cast<long long>(v->def_step));
+    EMBSR_CHECK_MSG(now <= v->last_use_step,
+                    "[use-after-free] arena %s buffer #%lld ('%s') touched "
+                    "at plan step %lld past its last use at step %lld",
+                    v->is_grad ? "grad" : "value",
+                    static_cast<long long>(v->buffer_id), v->label,
+                    static_cast<long long>(now),
+                    static_cast<long long>(v->last_use_step));
+  }
+  return v->base;
+}
+
+}  // namespace embsr
+
+#endif  // EMBSR_TENSOR_ARENA_VIEW_H_

@@ -1,0 +1,636 @@
+// Arena-executor suite (DESIGN.md §17): plan cache, placement, bitwise
+// equivalence, and the lifetime-conformance sentinel.
+//
+//  ArenaView        the single gate in tensor/arena_view.h, in isolation
+//  ArenaPlanCache   warm-up discipline, signatures, eviction, fail-open
+//  ArenaFootprint   live peak vs. plan, steady-state heap quiescence
+//  ArenaEquiv       EMBSR_ARENA=1 is bitwise-invisible across the zoo,
+//                   composed with EMBSR_BATCH_SIZE and EMBSR_THREADS
+//  ArenaConformance seeded mutant plans prove every sentinel alarm rings
+//
+// Suite prefix "Arena" is load-bearing: scripts/run_sanitized_tests.sh
+// re-runs `ctest -R '^(Arena|BatchEquiv)'` under EMBSR_ARENA=1 x
+// EMBSR_CHECK_CONTRACTS, and scripts/verify_gate.py's --arena stage leans
+// on the same binaries.
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/graph_signature.h"
+#include "arena/arena.h"
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "datagen/generator.h"
+#include "gtest/gtest.h"
+#include "models/neural_model.h"
+#include "obs/metrics.h"
+#include "tensor/arena_view.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/tensor.h"
+#include "train/evaluator.h"
+#include "train/model_zoo.h"
+#include "util/check.h"
+
+namespace embsr {
+namespace {
+
+const char* kBatchedModels[] = {"GRU4Rec", "STAMP", "EMBSR"};
+
+const ProcessedDataset& SmallData() {
+  static const ProcessedDataset* d = [] {
+    auto r = MakeDataset(JdAppliancesConfig(0.02));
+    EMBSR_CHECK_OK(r);
+    return new ProcessedDataset(std::move(r).value());
+  }();
+  return *d;
+}
+
+/// Pins (or unsets, value == nullptr) one environment variable for a scope
+/// and restores the pre-existing value on exit, so legs of the sanitizer
+/// matrix that export EMBSR_ARENA themselves stay undisturbed.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_ = true;
+      old_ = old;
+    }
+    if (value == nullptr) {
+      unsetenv(name);
+    } else {
+      setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_ = false;
+};
+
+TrainConfig SmallConfig() {
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.embedding_dim = 16;
+  cfg.seed = 1234;
+  cfg.max_train_examples = 60;
+  return cfg;
+}
+
+struct RunOutcome {
+  std::vector<Tensor> params;
+  MetricReport report;
+};
+
+/// One full train + evaluate with the arena toggled; every run starts from
+/// an empty plan cache so the warm-up schedule is identical run to run.
+RunOutcome TrainOnce(const std::string& model_name, bool arena_on,
+                     const char* batch_env, const TrainConfig& cfg) {
+  ScopedEnv arena_env("EMBSR_ARENA", arena_on ? "1" : nullptr);
+  ScopedEnv batch_size(
+      "EMBSR_BATCH_SIZE",
+      batch_env);  // nullptr = unset, the legacy per-session loop
+  arena::ResetForTesting();
+  const ProcessedDataset& data = SmallData();
+  std::unique_ptr<Recommender> model =
+      CreateModel(model_name, data.num_items, data.num_operations, cfg);
+  EMBSR_CHECK(model != nullptr);
+  EMBSR_CHECK_OK(model->Fit(data));
+
+  RunOutcome out;
+  if (auto* neural = dynamic_cast<NeuralSessionModel*>(model.get())) {
+    for (const auto& p : neural->Parameters()) out.params.push_back(p.value());
+  }
+  out.report = Evaluate(model.get(), data.test, {10, 20}, 40).report;
+  return out;
+}
+
+void ExpectBitIdentical(const std::vector<Tensor>& a,
+                        const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].shape(), b[i].shape()) << "param " << i;
+    EXPECT_EQ(std::memcmp(a[i].data(), b[i].data(),
+                          sizeof(float) * static_cast<size_t>(a[i].size())),
+              0)
+        << "param " << i << " differs";
+  }
+}
+
+/// A fixed four-op training step (MatMul -> Tanh -> Scale -> SumAll ->
+/// Backward) against a persistent parameter `w` created outside every
+/// scope. Deterministic, so replays of the same key conform bit for bit.
+float SyntheticTrainStep(const std::string& key, const ag::Variable& w,
+                         float scale) {
+  arena::StepScope step(key);
+  ag::Variable x(Tensor({4, 8}, 0.5f), /*requires_grad=*/false);
+  ag::Variable h = ag::Tanh(ag::MatMul(x, w));
+  ag::Variable s = ag::Scale(h, scale);
+  ag::Variable loss = ag::SumAll(s);
+  loss.Backward();
+  return loss.value().at(0);
+}
+
+/// The forward-only analogue (no Backward; the root is named via SetRoot,
+/// the way the model scoring paths drive their scopes).
+float SyntheticScoreStep(const std::string& key, const ag::Variable& w,
+                         float scale) {
+  arena::StepScope step(key, /*forward_only=*/true);
+  ag::Variable x(Tensor({4, 8}, 0.5f), /*requires_grad=*/false);
+  ag::Variable h = ag::Tanh(ag::MatMul(x, w));
+  ag::Variable s = ag::Scale(h, scale);
+  step.SetRoot(s);
+  return s.value().at(0);
+}
+
+ag::Variable MakeParam() {
+  Tensor w({8, 4});
+  for (int64_t i = 0; i < w.size(); ++i) {
+    w.data()[i] = 0.01f * static_cast<float>((i % 17) - 8);
+  }
+  return ag::Variable(w, /*requires_grad=*/true);
+}
+
+int64_t CounterValue(const char* name) {
+  return obs::Registry::Global().GetCounter(name)->value();
+}
+
+// ---- ArenaView: the sentinel gate in isolation ----------------------------
+
+TEST(ArenaView, GateServesBytesWhileLive) {
+  float buf[6] = {1, 2, 3, 4, 5, 6};
+  int64_t clock = 3;
+  ArenaView v;
+  v.base = buf;
+  v.elems = 6;
+  v.def_step = 2;
+  v.last_use_step = 5;
+  v.clock = &clock;
+  v.label = "unit";
+  v.strict = true;
+  Tensor t = Tensor::FromArenaView(&v, {2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.data(), buf);
+  EXPECT_EQ(t.at(4), 5.0f);
+  clock = 5;  // inclusive upper bound
+  EXPECT_EQ(t.data(), buf);
+}
+
+TEST(ArenaView, ExpiredViewDiesOnTouch) {
+  float buf[2] = {0, 0};
+  int64_t clock = 0;
+  ArenaView v;
+  v.base = buf;
+  v.elems = 2;
+  v.clock = &clock;
+  v.label = "unit";
+  Tensor t = Tensor::FromArenaView(&v, {2});
+  v.expired = true;
+  EXPECT_DEATH(t.data(), "\\[use-after-free\\]");
+}
+
+TEST(ArenaView, StrictClockBoundsDie) {
+  float buf[2] = {0, 0};
+  int64_t clock = 1;
+  ArenaView v;
+  v.base = buf;
+  v.elems = 2;
+  v.def_step = 2;
+  v.last_use_step = 4;
+  v.clock = &clock;
+  v.label = "unit";
+  v.strict = true;
+  Tensor t = Tensor::FromArenaView(&v, {2});
+  EXPECT_DEATH(t.data(), "\\[use-before-def\\]");
+  clock = 5;
+  EXPECT_DEATH(t.data(), "\\[use-after-free\\]");
+}
+
+TEST(ArenaView, RecycledSlotDiesOnEscape) {
+  float buf[2] = {0, 0};
+  int64_t clock = 0;
+  ArenaView v;
+  v.base = buf;
+  v.elems = 2;
+  v.clock = &clock;
+  v.label = "unit";
+  v.generation = 7;
+  Tensor t = Tensor::FromArenaView(&v, {2});
+  EXPECT_EQ(t.data(), buf);
+  ++v.generation;  // the executor recycled the slot for another buffer
+  EXPECT_DEATH(t.data(), "recycled");
+}
+
+// ---- ArenaPlanCache -------------------------------------------------------
+
+class ArenaPlanCache : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setenv("EMBSR_ARENA", "1", 1);
+    arena::ResetForTesting();
+  }
+  void TearDown() override {
+    arena::ForceStrict(-1);
+    arena::ResetForTesting();
+    unsetenv("EMBSR_ARENA");
+  }
+};
+
+// Occurrence 1 runs on the heap, occurrence 2 records + caches a verified
+// plan, occurrence 3 replays it placed — and all three produce the same
+// bits. Hit/miss counters follow the same schedule.
+TEST_F(ArenaPlanCache, WarmupRecordsThenPlaces) {
+  const ag::Variable w = MakeParam();
+  const std::string key = "test/warmup";
+  const int64_t hits0 = CounterValue("arena/plan_hits");
+  const int64_t misses0 = CounterValue("arena/plan_misses");
+
+  const float l1 = SyntheticTrainStep(key, w, 2.0f);
+  EXPECT_TRUE(arena::LastStepStats().active);
+  EXPECT_FALSE(arena::LastStepStats().placed);
+  EXPECT_FALSE(arena::LastStepStats().recorded);
+  EXPECT_EQ(arena::FindCachedPlan(key), nullptr);
+
+  const float l2 = SyntheticTrainStep(key, w, 2.0f);
+  EXPECT_TRUE(arena::LastStepStats().recorded);
+  EXPECT_NE(arena::LastStepStats().signature, 0u);
+  std::shared_ptr<const arena::CachedPlan> plan = arena::FindCachedPlan(key);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_FALSE(plan->forward_only);
+  EXPECT_GT(plan->forward_steps, 0);
+  EXPECT_GT(plan->end_step, plan->forward_steps);
+  EXPECT_GT(plan->planned_peak_bytes, 0);
+  EXPECT_GT(plan->extent_elems, 0);
+  EXPECT_FALSE(plan->death_order.empty());
+  EXPECT_EQ(plan->nodes.size(), static_cast<size_t>(plan->forward_steps));
+
+  const float l3 = SyntheticTrainStep(key, w, 2.0f);
+  const arena::StepStats& st = arena::LastStepStats();
+  EXPECT_TRUE(st.placed);
+  EXPECT_FALSE(st.fell_back);
+  EXPECT_GT(st.placed_buffers, 0);
+  EXPECT_GT(st.placed_bytes, 0);
+  EXPECT_EQ(st.signature, plan->signature.hash);
+
+  EXPECT_EQ(l1, l2);
+  EXPECT_EQ(l2, l3);
+  EXPECT_EQ(CounterValue("arena/plan_misses") - misses0, 2);
+  EXPECT_EQ(CounterValue("arena/plan_hits") - hits0, 1);
+}
+
+TEST_F(ArenaPlanCache, ForwardOnlyStepsPlaceViaSetRoot) {
+  const ag::Variable w = MakeParam();
+  const std::string key = "test/score";
+  const float s1 = SyntheticScoreStep(key, w, 2.0f);
+  const float s2 = SyntheticScoreStep(key, w, 2.0f);
+  std::shared_ptr<const arena::CachedPlan> plan = arena::FindCachedPlan(key);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->forward_only);
+  EXPECT_EQ(plan->end_step, plan->forward_steps);
+  const float s3 = SyntheticScoreStep(key, w, 2.0f);
+  EXPECT_TRUE(arena::LastStepStats().placed);
+  EXPECT_FALSE(arena::LastStepStats().fell_back);
+  EXPECT_GT(arena::LastStepStats().placed_buffers, 0);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s2, s3);
+}
+
+// Attribute-only differences (Scale by 2 vs. Scale by 3: same topology,
+// same shapes) must produce distinct signatures — the attr_hash is part of
+// the structural identity, not an accessory.
+TEST_F(ArenaPlanCache, SignatureDistinguishesAttributeOnlyDifferences) {
+  unsetenv("EMBSR_ARENA");  // audit tape below must not engage a scope
+  auto signature_of = [](float scale) {
+    ag::Tape tape;
+    ag::Variable x(Tensor({2, 3}, 1.0f), /*requires_grad=*/true);
+    ag::Variable y = ag::Scale(x, scale);
+    return analyze::ComputeGraphSignature(tape.nodes(), y.node().get(),
+                                          /*forward_only=*/false);
+  };
+  const analyze::GraphSignature a = signature_of(2.0f);
+  const analyze::GraphSignature b = signature_of(3.0f);
+  const analyze::GraphSignature a2 = signature_of(2.0f);
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a.hash, b.hash) << "attr-only difference hashed identically";
+
+  // And end to end: the cached plans for the two scales carry the two
+  // distinct signatures.
+  setenv("EMBSR_ARENA", "1", 1);
+  const ag::Variable w = MakeParam();
+  SyntheticTrainStep("test/sig2", w, 2.0f);
+  SyntheticTrainStep("test/sig2", w, 2.0f);
+  SyntheticTrainStep("test/sig3", w, 3.0f);
+  SyntheticTrainStep("test/sig3", w, 3.0f);
+  auto p2 = arena::FindCachedPlan("test/sig2");
+  auto p3 = arena::FindCachedPlan("test/sig3");
+  ASSERT_NE(p2, nullptr);
+  ASSERT_NE(p3, nullptr);
+  EXPECT_NE(p2->signature.hash, p3->signature.hash);
+}
+
+// Over-cap plans evict least-recently-admitted entries wholesale; the
+// evicted key restarts its warm-up discipline from occurrence 1.
+TEST_F(ArenaPlanCache, EvictionRestartsWarmup) {
+  ScopedEnv cap("EMBSR_ARENA_CACHE_CAP", "2");
+  const ag::Variable w = MakeParam();
+  const int64_t evictions0 = CounterValue("arena/plan_evictions");
+  for (const char* key : {"test/ev-a", "test/ev-b", "test/ev-c"}) {
+    SyntheticTrainStep(key, w, 2.0f);
+    SyntheticTrainStep(key, w, 2.0f);
+    ASSERT_NE(arena::FindCachedPlan(key), nullptr) << key;
+  }
+  EXPECT_EQ(CounterValue("arena/plan_evictions") - evictions0, 1);
+  EXPECT_EQ(arena::FindCachedPlan("test/ev-a"), nullptr);
+  EXPECT_NE(arena::FindCachedPlan("test/ev-b"), nullptr);
+  EXPECT_NE(arena::FindCachedPlan("test/ev-c"), nullptr);
+  // The evicted key is back at occurrence 1: plain heap, no record.
+  SyntheticTrainStep("test/ev-a", w, 2.0f);
+  EXPECT_FALSE(arena::LastStepStats().placed);
+  EXPECT_FALSE(arena::LastStepStats().recorded);
+}
+
+// Fail-open: a key whose graph keeps changing (data-dependent topology)
+// falls back mid-step, strikes, and is eventually blacklisted to permanent
+// heap execution — the step itself never fails and stays bit-exact.
+TEST_F(ArenaPlanCache, RepeatedMismatchFallsBackThenBlacklists) {
+  const ag::Variable w = MakeParam();
+  const std::string key = "test/flipflop";
+  const int64_t fallbacks0 = CounterValue("arena/fallbacks");
+  const float heap_a = SyntheticTrainStep(key, w, 2.0f);  // seen 1: heap
+  SyntheticTrainStep(key, w, 2.0f);                       // seen 2: record A
+  int fell_back = 0;
+  for (int round = 0; round < 3; ++round) {
+    // Placed replay of A meets graph B: conformance mismatch, spill.
+    const float spilled = SyntheticTrainStep(key, w, 3.0f);
+    EXPECT_TRUE(arena::LastStepStats().fell_back);
+    EXPECT_EQ(spilled, SyntheticTrainStep("test/flipflop-ref", w, 3.0f));
+    ++fell_back;
+    // The strike reset the plan, so A re-records...
+    SyntheticTrainStep(key, w, 2.0f);
+  }
+  EXPECT_EQ(CounterValue("arena/fallbacks") - fallbacks0, 3);
+  // ...until strike three blacklists the key: from here on, plain heap.
+  const float blacklisted = SyntheticTrainStep(key, w, 2.0f);
+  const arena::StepStats& st = arena::LastStepStats();
+  EXPECT_TRUE(st.active);
+  EXPECT_FALSE(st.placed);
+  EXPECT_FALSE(st.recorded);
+  EXPECT_FALSE(st.fell_back);
+  EXPECT_EQ(blacklisted, heap_a);
+  EXPECT_EQ(arena::FindCachedPlan(key), nullptr);
+  EXPECT_EQ(fell_back, 3);
+}
+
+// ---- ArenaFootprint -------------------------------------------------------
+
+class ArenaFootprint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setenv("EMBSR_ARENA", "1", 1);
+    arena::ResetForTesting();
+  }
+  void TearDown() override {
+    arena::ResetForTesting();
+    unsetenv("EMBSR_ARENA");
+  }
+};
+
+// The acceptance bar from the issue: measured live peak stays within 5% of
+// the planned peak (here: never above it — the executor seats buffers at
+// the planner's own offsets), and steady-state steps stop acquiring heap.
+TEST_F(ArenaFootprint, LivePeakWithinPlanAndHeapGoesQuiet) {
+  const ag::Variable w = MakeParam();
+  const std::string key = "test/footprint";
+  for (int i = 0; i < 4; ++i) SyntheticTrainStep(key, w, 2.0f);
+  const arena::StepStats& st = arena::LastStepStats();
+  ASSERT_TRUE(st.placed);
+  EXPECT_GT(st.live_peak_bytes, 0);
+  EXPECT_GT(st.planned_peak_bytes, 0);
+  EXPECT_LE(static_cast<double>(st.live_peak_bytes),
+            static_cast<double>(st.planned_peak_bytes) * 1.05);
+  EXPECT_GE(st.arena_extent_bytes, st.live_peak_bytes);
+
+  // Steady state: every tensor the step still heap-allocates (before its
+  // reseat into the arena) recycles through the buffer pool, so pool
+  // heap acquisitions reach a fixed point.
+  const int64_t acquires0 = tensor_pool::HeapAcquires();
+  for (int i = 0; i < 3; ++i) SyntheticTrainStep(key, w, 2.0f);
+  EXPECT_EQ(tensor_pool::HeapAcquires() - acquires0, 0);
+}
+
+// Same bar on a real model through the instrumented scoring path: the
+// third identical ScoreAll is placed, later calls acquire nothing from the
+// heap, and warm (placed) scores memcmp against the cold (heap) ones.
+TEST_F(ArenaFootprint, ModelScoringPlacesAndStopsAllocating) {
+  const ProcessedDataset& data = SmallData();
+  std::unique_ptr<Recommender> model = CreateModel(
+      "GRU4Rec", data.num_items, data.num_operations, SmallConfig());
+  ASSERT_NE(model, nullptr);
+  auto* neural = dynamic_cast<NeuralSessionModel*>(model.get());
+  ASSERT_NE(neural, nullptr);
+  neural->EnsureEvalMode();
+  const Example& ex = data.test[0];
+
+  const std::vector<float> cold = neural->ScoreAll(ex);
+  EXPECT_FALSE(arena::LastStepStats().placed);
+  neural->ScoreAll(ex);
+  EXPECT_TRUE(arena::LastStepStats().recorded);
+  const std::vector<float> warm = neural->ScoreAll(ex);
+  const arena::StepStats& st = arena::LastStepStats();
+  ASSERT_TRUE(st.placed) << "model scoring step did not replay its plan";
+  EXPECT_FALSE(st.fell_back);
+  EXPECT_GT(st.placed_buffers, 0);
+  EXPECT_LE(static_cast<double>(st.live_peak_bytes),
+            static_cast<double>(st.planned_peak_bytes) * 1.05);
+
+  ASSERT_EQ(cold.size(), warm.size());
+  EXPECT_EQ(std::memcmp(cold.data(), warm.data(),
+                        sizeof(float) * cold.size()),
+            0);
+
+  const int64_t acquires0 = tensor_pool::HeapAcquires();
+  const std::vector<float> steady = neural->ScoreAll(ex);
+  EXPECT_EQ(tensor_pool::HeapAcquires() - acquires0, 0);
+  EXPECT_EQ(std::memcmp(cold.data(), steady.data(),
+                        sizeof(float) * cold.size()),
+            0);
+}
+
+// ---- ArenaEquiv -----------------------------------------------------------
+
+// EMBSR_ARENA=1 must be invisible: across the paper's full Table III zoo,
+// two epochs of training end with memcmp-identical parameters and an
+// identical metric report (non-neural baselines ride along report-only).
+TEST(ArenaEquiv, TrainBitIdenticalAcrossZoo) {
+  for (const std::string& name : Table3ModelNames()) {
+    SCOPED_TRACE(name);
+    const RunOutcome heap = TrainOnce(name, /*arena_on=*/false, nullptr,
+                                      SmallConfig());
+    const RunOutcome placed = TrainOnce(name, /*arena_on=*/true, nullptr,
+                                        SmallConfig());
+    ExpectBitIdentical(heap.params, placed.params);
+    EXPECT_EQ(heap.report.hit, placed.report.hit);
+    EXPECT_EQ(heap.report.mrr, placed.report.mrr);
+  }
+}
+
+// Composed with the batched executor (EMBSR_BATCH_SIZE=16): the batched
+// chunk scopes ("bt"/"be" keys) must be just as invisible.
+TEST(ArenaEquiv, TrainBitIdenticalComposedWithBatching) {
+  for (const char* name : kBatchedModels) {
+    SCOPED_TRACE(name);
+    const RunOutcome heap = TrainOnce(name, /*arena_on=*/false, "16",
+                                      SmallConfig());
+    const RunOutcome placed = TrainOnce(name, /*arena_on=*/true, "16",
+                                        SmallConfig());
+    ExpectBitIdentical(heap.params, placed.params);
+    EXPECT_EQ(heap.report.hit, placed.report.hit);
+    EXPECT_EQ(heap.report.mrr, placed.report.mrr);
+  }
+}
+
+// Composed with threaded evaluation: worker threads each run their own
+// per-thread arena and warm-up, and the result is still bitwise equal.
+TEST(ArenaEquiv, TrainBitIdenticalComposedWithBatchingAndThreads) {
+  ScopedEnv threads("EMBSR_THREADS", "4");
+  const RunOutcome heap =
+      TrainOnce("GRU4Rec", /*arena_on=*/false, "16", SmallConfig());
+  const RunOutcome placed =
+      TrainOnce("GRU4Rec", /*arena_on=*/true, "16", SmallConfig());
+  ExpectBitIdentical(heap.params, placed.params);
+  EXPECT_EQ(heap.report.hit, placed.report.hit);
+  EXPECT_EQ(heap.report.mrr, placed.report.mrr);
+}
+
+// ---- ArenaConformance: seeded mutant plans --------------------------------
+
+// Each test corrupts the cached plan for a warm key, pins strict mode, and
+// proves the replay dies with the right alarm. Death style "threadsafe"
+// re-runs the whole test in the child, so the cache state (including the
+// seeded mutation) is rebuilt deterministically on both sides of the fork.
+class ArenaConformance : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setenv("EMBSR_ARENA", "1", 1);
+    arena::ResetForTesting();
+    arena::ForceStrict(1);
+  }
+  void TearDown() override {
+    arena::ForceStrict(-1);
+    arena::ResetForTesting();
+    unsetenv("EMBSR_ARENA");
+  }
+
+  /// Warms `key` to a cached plan and returns it.
+  std::shared_ptr<const arena::CachedPlan> Warm(const std::string& key,
+                                                const ag::Variable& w) {
+    SyntheticTrainStep(key, w, 2.0f);
+    SyntheticTrainStep(key, w, 2.0f);
+    std::shared_ptr<const arena::CachedPlan> plan = arena::FindCachedPlan(key);
+    EMBSR_CHECK(plan != nullptr);
+    return plan;
+  }
+};
+
+TEST_F(ArenaConformance, CatchesUseBeforeDef) {
+  const ag::Variable w = MakeParam();
+  const std::string key = "mutant/ubd";
+  Warm(key, w);
+  // Push a placed buffer's first-def past the end of the step: its very
+  // first (planned-legal) read now happens "before" the def.
+  ASSERT_TRUE(arena::MutateCachedPlan(key, [](arena::CachedPlan* p) {
+    for (arena::NodeSpec& n : p->nodes) {
+      if (n.value.offset >= 0) {
+        n.value.def_step = p->end_step + 1;
+        n.value.last_use_step = p->end_step + 1;
+        break;
+      }
+    }
+  }));
+  EXPECT_DEATH(SyntheticTrainStep(key, w, 2.0f), "\\[use-before-def\\]");
+}
+
+TEST_F(ArenaConformance, CatchesUseAfterFree) {
+  const ag::Variable w = MakeParam();
+  const std::string key = "mutant/uaf";
+  Warm(key, w);
+  // Shrink the lifetime of the longest-lived placed buffer to a single
+  // step: the executor sweeps (poisons + expires) it at def+1, and its
+  // real last read — still scheduled at the original step — resurrects it.
+  ASSERT_TRUE(arena::MutateCachedPlan(key, [](arena::CachedPlan* p) {
+    arena::NodeSpec* victim = nullptr;
+    int64_t widest = -1;
+    for (arena::NodeSpec& n : p->nodes) {
+      if (n.value.offset < 0) continue;
+      const int64_t span = n.value.last_use_step - n.value.def_step;
+      if (span > widest) {
+        widest = span;
+        victim = &n;
+      }
+    }
+    EMBSR_CHECK(victim != nullptr && widest > 0);
+    victim->value.last_use_step = victim->value.def_step;
+  }));
+  EXPECT_DEATH(SyntheticTrainStep(key, w, 2.0f), "\\[use-after-free\\]");
+}
+
+TEST_F(ArenaConformance, CatchesExtentOverflow) {
+  const ag::Variable w = MakeParam();
+  const std::string key = "mutant/extent";
+  Warm(key, w);
+  // Plant an offset beyond the planned extent: the seat bound-check must
+  // refuse to hand out bytes the plan never reserved.
+  ASSERT_TRUE(arena::MutateCachedPlan(key, [](arena::CachedPlan* p) {
+    for (arena::NodeSpec& n : p->nodes) {
+      if (n.value.offset >= 0) {
+        n.value.offset = p->extent_elems + 4096;
+        break;
+      }
+    }
+  }));
+  EXPECT_DEATH(SyntheticTrainStep(key, w, 2.0f), "\\[extent-overflow\\]");
+}
+
+TEST_F(ArenaConformance, CatchesStalePlan) {
+  const ag::Variable w = MakeParam();
+  const std::string key = "mutant/stale";
+  Warm(key, w);
+  // A plan cached for a different graph (here: one node's identity edited
+  // in place) must be detected at the first divergent node.
+  ASSERT_TRUE(arena::MutateCachedPlan(key, [](arena::CachedPlan* p) {
+    p->nodes[0].op += "-mutant";
+  }));
+  EXPECT_DEATH(SyntheticTrainStep(key, w, 2.0f), "\\[stale-plan\\]");
+}
+
+// The same stale plan without the test pin does NOT kill the step: it
+// spills, strikes, and returns the exact heap answer (the production
+// fail-open contract the four alarms above are the strict-mode face of).
+TEST_F(ArenaConformance, StalePlanFailsOpenWithoutPin) {
+  const ag::Variable w = MakeParam();
+  const std::string key = "mutant/stale-open";
+  Warm(key, w);
+  ASSERT_TRUE(arena::MutateCachedPlan(key, [](arena::CachedPlan* p) {
+    p->nodes[0].op += "-mutant";
+  }));
+  arena::ForceStrict(0);
+  const float spilled = SyntheticTrainStep(key, w, 2.0f);
+  EXPECT_TRUE(arena::LastStepStats().fell_back);
+  const float heap = SyntheticTrainStep("mutant/stale-open-ref", w, 2.0f);
+  EXPECT_EQ(spilled, heap);
+}
+
+}  // namespace
+}  // namespace embsr
